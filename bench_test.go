@@ -1,0 +1,208 @@
+package hbcache_test
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation. Each benchmark regenerates its figure at
+// medium fidelity and prints the same rows/series the paper reports
+// (once per `go test -bench` invocation), so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the full reproduction run. Component microbenchmarks at the
+// bottom track simulator throughput.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/experiments"
+	"hbcache/internal/isa"
+	"hbcache/internal/mem"
+	"hbcache/internal/sim"
+	"hbcache/internal/stats"
+	"hbcache/internal/workload"
+)
+
+// benchOpts is the fidelity used by the figure benchmarks: large enough
+// for stable series, small enough that the whole harness runs in a few
+// minutes.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Seed:         1,
+		PrewarmInsts: 600_000,
+		WarmupInsts:  20_000,
+		MeasureInsts: 120_000,
+	}
+}
+
+var printOnce sync.Map
+
+// runFigure executes an experiment b.N times and prints its table once.
+func runFigure(b *testing.B, name string, run func(experiments.Options) (*stats.Table, error)) {
+	b.Helper()
+	var tbl *stats.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n== %s ==\n%s\n", name, tbl.String())
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	runFigure(b, "Figure 1: access times (FO4)", func(o experiments.Options) (*stats.Table, error) {
+		return experiments.Figure1(), nil
+	})
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runFigure(b, "Table 2: benchmark characterization", experiments.Table2)
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	runFigure(b, "Figure 3: misses/instruction vs cache size", experiments.Figure3)
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	runFigure(b, "Figure 4: ideal multi-ported multi-cycle 32K caches (IPC)", experiments.Figure4)
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	runFigure(b, "Figure 5: banked multi-cycle 32K caches (IPC)", experiments.Figure5)
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	runFigure(b, "Figure 6: line buffer with banked and duplicate caches (IPC)", experiments.Figure6)
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	runFigure(b, "Figure 7: 4MB DRAM cache with 16K row-buffer cache (IPC)", experiments.Figure7)
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	runFigure(b, "Figure 8: IPC vs cache size, duplicate & banked + LB", experiments.Figure8)
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	runFigure(b, "Figure 9: normalized execution time vs cycle time", experiments.Figure9)
+}
+
+func BenchmarkPortScaling(b *testing.B) {
+	runFigure(b, "Section 2.1: IPC vs ideal port count", experiments.PortScaling)
+}
+
+func BenchmarkBestConfiguration(b *testing.B) {
+	runFigure(b, "Section 5: best configuration per cycle time", experiments.BestConfiguration)
+}
+
+// --- component microbenchmarks ---
+
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	g := workload.MustNew("gcc", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkCacheArrayLookup(b *testing.B) {
+	a := mem.MustNewArray(32<<10, 32, 2)
+	for i := 0; i < 1024; i++ {
+		a.Fill(uint64(i) * 32)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Lookup(uint64(i%1024) * 32)
+	}
+}
+
+func BenchmarkL1Load(b *testing.B) {
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.IdealPorts, Count: 4}, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.L1.TryLoad(mem.Cycle(i), uint64(i%4096)*8)
+	}
+}
+
+func BenchmarkCPUCycle(b *testing.B) {
+	gen := workload.MustNew("gcc", 1)
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	core, err := cpu.New(cpu.DefaultConfig(), gen, sys.L1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Step()
+	}
+	b.ReportMetric(float64(core.Stats().Retired)/float64(b.N), "insts/cycle")
+}
+
+func BenchmarkFullSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Benchmark:    "gcc",
+			Seed:         1,
+			CPU:          cpu.DefaultConfig(),
+			Memory:       mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true),
+			PrewarmInsts: 200_000,
+			WarmupInsts:  10_000,
+			MeasureInsts: 50_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMissRatePoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MissRatePoint("tomcatv", 1, 64<<10, 50_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFO4Model(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.Figure1()
+	}
+}
+
+func BenchmarkSliceReaderCPU(b *testing.B) {
+	// A pure-ALU trace isolates core pipeline overhead from the memory
+	// system.
+	insts := make([]isa.Inst, 4096)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.IntALU, Dst: int16(2 + i%60), PC: uint64(i * 4)}
+	}
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core, err := cpu.New(cpu.DefaultConfig(), isa.NewSliceReader(insts), sys.L1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.Run(0)
+	}
+}

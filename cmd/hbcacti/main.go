@@ -1,0 +1,51 @@
+// Command hbcacti prints the cache access-time model (the paper's
+// Figure 1): FO4 delays for single-ported and eight-way banked caches
+// from 4 KB to 1 MB, and answers sizing questions for a given processor
+// cycle time.
+//
+// Usage:
+//
+//	hbcacti                 # print the Figure 1 table
+//	hbcacti -cycle 29       # also: largest cache per pipeline depth at 29 FO4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbcache/internal/experiments"
+	"hbcache/internal/fo4"
+)
+
+func main() {
+	cycle := flag.Float64("cycle", 0, "processor cycle time in FO4; when set, report the largest cache per hit time")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	tbl := experiments.Figure1()
+	if *csv {
+		fmt.Print(tbl.CSV())
+	} else {
+		fmt.Println("Figure 1: cache access times (fan-out-of-four delays)")
+		fmt.Println()
+		fmt.Print(tbl.String())
+	}
+
+	if *cycle > 0 {
+		fmt.Printf("\nAt a %.1f FO4 cycle time (%.2f ns, %.0f MHz):\n",
+			*cycle, fo4.CycleNs(*cycle), 1000/fo4.CycleNs(*cycle))
+		for depth := 1; depth <= 3; depth++ {
+			b, ok := fo4.MaxCacheBytesFor(fo4.SinglePorted, depth, *cycle)
+			if !ok {
+				fmt.Printf("  %d-cycle hit: no cache in the 4 KB - 1 MB design space fits\n", depth)
+				continue
+			}
+			fmt.Printf("  %d-cycle hit: up to %s (access %.2f FO4)\n",
+				depth, fo4.SizeLabel(b), fo4.MustAccessTime(fo4.SinglePorted, b))
+		}
+		fmt.Printf("  secondary cache (50 ns): %d cycles; memory (300 ns): %d cycles\n",
+			fo4.CyclesForNs(50, *cycle), fo4.CyclesForNs(300, *cycle))
+	}
+	os.Exit(0)
+}

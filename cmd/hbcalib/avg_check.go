@@ -1,0 +1,34 @@
+package main
+
+// avg_check is invoked via -avg to compare the DRAM organization with
+// the 16 KB SRAM baseline across all nine benchmarks.
+
+import (
+	"fmt"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/sim"
+	"hbcache/internal/stats"
+	"hbcache/internal/workload"
+)
+
+func dramVsSRAM() {
+	var sramIPC, dramIPC []float64
+	for _, b := range workload.BenchmarkNames() {
+		run := func(m mem.SystemConfig) float64 {
+			r, err := sim.Run(sim.Config{Benchmark: b, Seed: 1, CPU: cpu.DefaultConfig(), Memory: m,
+				PrewarmInsts: 600000, WarmupInsts: 20000, MeasureInsts: 120000})
+			if err != nil {
+				panic(err)
+			}
+			return r.IPC
+		}
+		s := run(mem.DefaultSRAMSystem(16<<10, 1, mem.PortConfig{Kind: mem.BankedPorts, Count: 8}, true))
+		d := run(mem.DefaultDRAMSystem(6, true))
+		sramIPC = append(sramIPC, s)
+		dramIPC = append(dramIPC, d)
+		fmt.Printf("%-9s SRAM16K=%.3f DRAM=%.3f  (SRAM/DRAM %.2fx)\n", b, s, d, s/d)
+	}
+	fmt.Printf("average: SRAM %.3f vs DRAM %.3f\n", stats.Mean(sramIPC), stats.Mean(dramIPC))
+}

@@ -1,0 +1,147 @@
+// Command hbfigures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hbfigures                  # list experiments
+//	hbfigures -exp fig4        # run one experiment at full fidelity
+//	hbfigures -exp all         # run everything (minutes)
+//	hbfigures -exp fig8 -quick # low-fidelity fast pass
+//	hbfigures -exp fig3 -csv   # machine-readable output
+//	hbfigures -exp fig9 -bench gcc,tomcatv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hbcache/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment name (fig1, table2, fig3..fig9, ports, best, ablations) or 'all'")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		doPlot  = flag.Bool("plot", false, "render an ASCII chart instead of a table (fig1, fig3, fig8, fig9)")
+		quickly = flag.Bool("quick", false, "low-fidelity windows (fast, noisier)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: the experiment's paper set)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Seed: *seed}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *quickly {
+		opt.PrewarmInsts = 300_000
+		opt.WarmupInsts = 10_000
+		opt.MeasureInsts = 60_000
+	}
+
+	if *exp == "" {
+		fmt.Println("paper tables and figures:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-14s %s\n", e.Name, e.Title)
+		}
+		fmt.Printf("  %-14s %s\n", "best", "Summary: best depth/size per cycle time (paper section 5)")
+		fmt.Println("\nextensions and ablations:")
+		for _, e := range experiments.Extensions() {
+			fmt.Printf("  %-14s %s\n", e.Name, e.Title)
+		}
+		fmt.Println("\nrun one with: hbfigures -exp <name>   (add -quick for a fast pass)")
+		fmt.Println("run sets with: -exp all | -exp extensions | -exp everything")
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		tbl, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbfigures: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tbl.CSV())
+			return
+		}
+		fmt.Printf("== %s\n   %s\n   (%.1fs)\n\n", e.Title, e.Description, time.Since(start).Seconds())
+		fmt.Println(tbl.String())
+	}
+
+	if *doPlot {
+		if err := renderChart(*exp, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "hbfigures:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *exp == "best" {
+		e := experiments.Experiment{
+			Name:  "best",
+			Title: "Best cache depth and size per processor cycle time (duplicate cache + line buffer)",
+			Run:   experiments.BestConfiguration,
+		}
+		run(e)
+		return
+	}
+	switch *exp {
+	case "all":
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	case "extensions":
+		for _, e := range experiments.Extensions() {
+			run(e)
+		}
+		return
+	case "everything":
+		for _, e := range experiments.AllWithExtensions() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbfigures:", err)
+		os.Exit(1)
+	}
+	run(e)
+}
+
+// renderChart draws the ASCII-chart form of the curve figures.
+func renderChart(exp string, opt experiments.Options) error {
+	bench := "gcc"
+	if len(opt.Benchmarks) > 0 {
+		bench = opt.Benchmarks[0]
+	}
+	switch exp {
+	case "fig1":
+		fmt.Print(experiments.Figure1Chart().Render())
+	case "fig3":
+		c, err := experiments.Figure3Chart(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(c.Render())
+	case "fig8":
+		c, err := experiments.Figure8Chart(opt, bench)
+		if err != nil {
+			return err
+		}
+		fmt.Print(c.Render())
+	case "fig9":
+		c, err := experiments.Figure9Chart(opt, bench)
+		if err != nil {
+			return err
+		}
+		fmt.Print(c.Render())
+	default:
+		return fmt.Errorf("-plot supports fig1, fig3, fig8, fig9 (got %q)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Command hbsim runs one cache-configuration simulation and prints a
+// performance report: IPC, miss rates, line-buffer effectiveness,
+// branch prediction accuracy, and stall breakdowns.
+//
+// Examples:
+//
+//	hbsim -bench gcc -size 32K -hit 1 -ports duplicate -lb
+//	hbsim -bench tomcatv -size 512K -hit 2 -ports banked -banks 8
+//	hbsim -bench database -dram 6 -lb
+//	hbsim -bench gcc -size 64K -hit 1 -ports duplicate -lb -cycle 29
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/sim"
+	"hbcache/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gcc", "benchmark: "+strings.Join(workload.BenchmarkNames(), ", "))
+		size    = flag.String("size", "32K", "primary data cache size (e.g. 8K, 512K, 1M)")
+		hit     = flag.Int("hit", 1, "primary cache hit time in cycles (1-3, pipelined)")
+		ports   = flag.String("ports", "duplicate", "port organization: ideal, duplicate, banked")
+		nports  = flag.Int("n", 2, "ideal port count (with -ports ideal)")
+		banks   = flag.Int("banks", 8, "bank count (with -ports banked)")
+		lb      = flag.Bool("lb", false, "add the 32-entry line buffer")
+		dram    = flag.Int("dram", 0, "use the 4 MB on-chip DRAM cache with this hit time (6-8); overrides -size/-hit/-ports")
+		cycle   = flag.Float64("cycle", 25, "processor cycle time in FO4 (scales L2/memory latencies and bus widths)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		measure = flag.Uint64("insts", sim.DefaultMeasure, "instructions to measure")
+	)
+	flag.Parse()
+
+	var memory mem.SystemConfig
+	if *dram > 0 {
+		memory = mem.DefaultDRAMSystem(*dram, *lb)
+	} else {
+		bytes, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		var pc mem.PortConfig
+		switch *ports {
+		case "ideal":
+			pc = mem.PortConfig{Kind: mem.IdealPorts, Count: *nports}
+		case "duplicate":
+			pc = mem.PortConfig{Kind: mem.DuplicatePorts}
+		case "banked":
+			pc = mem.PortConfig{Kind: mem.BankedPorts, Count: *banks}
+		default:
+			fatal(fmt.Errorf("unknown port organization %q", *ports))
+		}
+		memory = sim.ScaledSRAMSystem(bytes, *hit, pc, *lb, *cycle)
+	}
+
+	res, err := sim.Run(sim.Config{
+		Benchmark:    *bench,
+		Seed:         *seed,
+		CPU:          cpu.DefaultConfig(),
+		Memory:       memory,
+		MeasureInsts: *measure,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.CPUStats
+	fmt.Printf("benchmark            %s\n", res.Benchmark)
+	if *dram > 0 {
+		fmt.Printf("configuration        16K row-buffer cache + 4 MB DRAM cache (%d~), line buffer: %v\n", *dram, *lb)
+	} else {
+		fmt.Printf("configuration        %s %d~ %s, line buffer: %v, cycle %.1f FO4\n", *size, *hit, *ports, *lb, *cycle)
+	}
+	fmt.Printf("instructions         %d\n", res.Instructions)
+	fmt.Printf("cycles               %d\n", res.Cycles)
+	fmt.Printf("IPC                  %.3f\n", res.IPC)
+	fmt.Printf("exec time            %.2f ns/inst\n", sim.ExecutionTimeNs(res, *cycle))
+	fmt.Printf("L1 misses/inst       %.2f%%\n", 100*res.MissesPerInst)
+	fmt.Printf("line buffer hit/load %.1f%%\n", 100*res.LineBufferHitRate)
+	fmt.Printf("branch accuracy      %.1f%%\n", 100*res.BranchAccuracy)
+	fmt.Printf("mean load latency    %.2f cycles\n", res.MeanLoadLatency)
+	fmt.Printf("loads / stores       %d / %d\n", s.Loads, s.Stores)
+	fmt.Printf("forwarded loads      %d\n", s.LoadForwarded)
+	fmt.Printf("stalls (window/LSQ/fetch/storebuf) %d / %d / %d / %d\n",
+		s.WindowFull, s.LSQFull, s.FetchBlocked, s.StoreBufStalls)
+}
+
+func parseSize(s string) (int, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int{
+		"32K":  32 << 10,
+		"4k":   4 << 10,
+		"1M":   1 << 20,
+		"512K": 512 << 10,
+		"100":  100,
+		" 8K ": 8 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "K", "x32", "3.5K"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) should fail", bad)
+		}
+	}
+}

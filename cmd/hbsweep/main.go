@@ -1,0 +1,178 @@
+// Command hbsweep runs a cartesian design-space sweep and emits one CSV
+// row per configuration — the tool for custom studies beyond the
+// paper's figures.
+//
+// Examples:
+//
+//	hbsweep -bench gcc,tomcatv -sizes 8K,32K,128K -hits 1,2 -ports duplicate,banked8
+//	hbsweep -bench all -sizes 32K -hits 1 -ports duplicate -lb both -cycle 20
+//	hbsweep -bench database -sizes 4K,16K,64K,256K,1M -hits 1,2,3 -ports ideal2 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/sim"
+	"hbcache/internal/workload"
+)
+
+func main() {
+	var (
+		benches = flag.String("bench", "gcc", "comma-separated benchmarks, or 'all'")
+		sizes   = flag.String("sizes", "32K", "comma-separated cache sizes (e.g. 8K,32K,1M)")
+		hits    = flag.String("hits", "1", "comma-separated hit times in cycles")
+		ports   = flag.String("ports", "duplicate", "comma-separated organizations: duplicate, idealN, bankedN")
+		lb      = flag.String("lb", "on", "line buffer: on, off, or both")
+		cycle   = flag.Float64("cycle", 25, "processor cycle time in FO4")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		insts   = flag.Uint64("insts", sim.DefaultMeasure, "measured instructions per point")
+	)
+	flag.Parse()
+
+	benchList, err := parseBenches(*benches)
+	if err != nil {
+		fatal(err)
+	}
+	sizeList, err := parseList(*sizes, parseSize)
+	if err != nil {
+		fatal(err)
+	}
+	hitList, err := parseList(*hits, strconv.Atoi)
+	if err != nil {
+		fatal(err)
+	}
+	portList, err := parseList(*ports, parsePorts)
+	if err != nil {
+		fatal(err)
+	}
+	lbList, err := parseLB(*lb)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("benchmark,size,hit_cycles,ports,line_buffer,cycle_fo4,ipc,exec_ns_per_inst,misses_per_inst,lb_hit_rate,branch_accuracy,mean_load_latency")
+	for _, bench := range benchList {
+		for _, size := range sizeList {
+			for _, hit := range hitList {
+				for _, pc := range portList {
+					for _, useLB := range lbList {
+						res, err := sim.Run(sim.Config{
+							Benchmark:    bench,
+							Seed:         *seed,
+							CPU:          cpu.DefaultConfig(),
+							Memory:       sim.ScaledSRAMSystem(size, hit, pc, useLB, *cycle),
+							MeasureInsts: *insts,
+						})
+						if err != nil {
+							fatal(err)
+						}
+						fmt.Printf("%s,%d,%d,%s,%v,%g,%.4f,%.4f,%.5f,%.4f,%.4f,%.3f\n",
+							bench, size, hit, portName(pc), useLB, *cycle,
+							res.IPC, sim.ExecutionTimeNs(res, *cycle), res.MissesPerInst,
+							res.LineBufferHitRate, res.BranchAccuracy, res.MeanLoadLatency)
+					}
+				}
+			}
+		}
+	}
+}
+
+func parseBenches(s string) ([]string, error) {
+	if s == "all" {
+		return workload.BenchmarkNames(), nil
+	}
+	names := strings.Split(s, ",")
+	for _, n := range names {
+		if _, err := workload.ModelFor(n); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, part := range strings.Split(s, ",") {
+		v, err := parse(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseSize(s string) (int, error) {
+	s = strings.ToUpper(s)
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(s, "K")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func parsePorts(s string) (mem.PortConfig, error) {
+	switch {
+	case s == "duplicate":
+		return mem.PortConfig{Kind: mem.DuplicatePorts}, nil
+	case strings.HasPrefix(s, "ideal"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "ideal"))
+		if err != nil || n <= 0 {
+			return mem.PortConfig{}, fmt.Errorf("bad ideal port spec %q (want e.g. ideal2)", s)
+		}
+		return mem.PortConfig{Kind: mem.IdealPorts, Count: n}, nil
+	case strings.HasPrefix(s, "banked"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "banked"))
+		if err != nil || n <= 0 {
+			return mem.PortConfig{}, fmt.Errorf("bad banked spec %q (want e.g. banked8)", s)
+		}
+		return mem.PortConfig{Kind: mem.BankedPorts, Count: n}, nil
+	default:
+		return mem.PortConfig{}, fmt.Errorf("unknown port organization %q", s)
+	}
+}
+
+func portName(pc mem.PortConfig) string {
+	switch pc.Kind {
+	case mem.DuplicatePorts:
+		return "duplicate"
+	case mem.IdealPorts:
+		return fmt.Sprintf("ideal%d", pc.Count)
+	case mem.BankedPorts:
+		return fmt.Sprintf("banked%d", pc.Count)
+	}
+	return "?"
+}
+
+func parseLB(s string) ([]bool, error) {
+	switch s {
+	case "on":
+		return []bool{true}, nil
+	case "off":
+		return []bool{false}, nil
+	case "both":
+		return []bool{false, true}, nil
+	default:
+		return nil, fmt.Errorf("bad -lb value %q (want on, off, both)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbsweep:", err)
+	os.Exit(1)
+}

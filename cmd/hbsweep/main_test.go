@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"hbcache/internal/mem"
+)
+
+func TestParsePorts(t *testing.T) {
+	cases := map[string]mem.PortConfig{
+		"duplicate": {Kind: mem.DuplicatePorts},
+		"ideal2":    {Kind: mem.IdealPorts, Count: 2},
+		"ideal4":    {Kind: mem.IdealPorts, Count: 4},
+		"banked8":   {Kind: mem.BankedPorts, Count: 8},
+		"banked128": {Kind: mem.BankedPorts, Count: 128},
+	}
+	for in, want := range cases {
+		got, err := parsePorts(in)
+		if err != nil {
+			t.Errorf("parsePorts(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parsePorts(%q) = %+v, want %+v", in, got, want)
+		}
+		if portName(got) != in {
+			t.Errorf("portName(%+v) = %q, want round trip to %q", got, portName(got), in)
+		}
+	}
+	for _, bad := range []string{"", "idealx", "banked", "triple", "ideal0"} {
+		if _, err := parsePorts(bad); err == nil {
+			t.Errorf("parsePorts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseLB(t *testing.T) {
+	if v, err := parseLB("both"); err != nil || len(v) != 2 {
+		t.Errorf("parseLB(both) = %v, %v", v, err)
+	}
+	if v, err := parseLB("on"); err != nil || len(v) != 1 || !v[0] {
+		t.Errorf("parseLB(on) = %v, %v", v, err)
+	}
+	if _, err := parseLB("maybe"); err == nil {
+		t.Error("parseLB(maybe) should fail")
+	}
+}
+
+func TestParseBenches(t *testing.T) {
+	all, err := parseBenches("all")
+	if err != nil || len(all) != 9 {
+		t.Errorf("parseBenches(all) = %d, %v", len(all), err)
+	}
+	two, err := parseBenches("gcc,tomcatv")
+	if err != nil || len(two) != 2 {
+		t.Errorf("parseBenches(gcc,tomcatv) = %v, %v", two, err)
+	}
+	if _, err := parseBenches("gcc,nope"); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestParseListSizes(t *testing.T) {
+	got, err := parseList("8K, 32K,1M", parseSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8 << 10, 32 << 10, 1 << 20}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sizes[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := parseList("8K,huh", parseSize); err == nil {
+		t.Error("bad size should fail")
+	}
+}

@@ -1,0 +1,99 @@
+// Command hbtrace steps a simulation cycle by cycle and prints the
+// pipeline's state: window and load/store-buffer occupancy, entry
+// states, and front-end stalls. It is the debugging companion to hbsim
+// — where hbsim summarizes a run, hbtrace shows why cycles are lost.
+//
+// Examples:
+//
+//	hbtrace -bench gcc -cycles 60
+//	hbtrace -bench database -size 8K -skip 5000 -cycles 40
+//	hbtrace -bench tomcatv -summary -cycles 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gcc", "benchmark: "+strings.Join(workload.BenchmarkNames(), ", "))
+		size    = flag.Int("sizekb", 32, "primary data cache size in KB")
+		hit     = flag.Int("hit", 1, "primary cache hit time in cycles")
+		lb      = flag.Bool("lb", true, "include the line buffer")
+		skip    = flag.Uint64("skip", 1000, "cycles to advance before tracing")
+		cycles  = flag.Uint64("cycles", 50, "cycles to trace")
+		summary = flag.Bool("summary", false, "print only the end-of-trace summary")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	gen, err := workload.New(*bench, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(*size<<10, *hit, mem.PortConfig{Kind: mem.DuplicatePorts}, *lb))
+	if err != nil {
+		fatal(err)
+	}
+	core, err := cpu.New(cpu.DefaultConfig(), gen, sys.L1)
+	if err != nil {
+		fatal(err)
+	}
+
+	for i := uint64(0); i < *skip; i++ {
+		core.Step()
+	}
+	if !*summary {
+		fmt.Printf("%-8s %-7s %-5s %-8s %-9s %-9s %-5s %-6s %-8s %s\n",
+			"cycle", "window", "lsq", "waiting", "executing", "wantport", "done", "head", "headage", "frontend")
+	}
+	var fetchBlockedCycles, portWaitCycles uint64
+	for i := uint64(0); i < *cycles; i++ {
+		core.Step()
+		snap := core.Snapshot()
+		if snap.FetchBlocked {
+			fetchBlockedCycles++
+		}
+		portWaitCycles += uint64(snap.WantPort)
+		if *summary {
+			continue
+		}
+		fe := "fetching"
+		if snap.FetchBlocked {
+			fe = "BLOCKED"
+		}
+		fmt.Printf("%-8d %2d/64   %2d/32 %-8d %-9d %-9d %-5d %-6v %-8d %s\n",
+			snap.Cycle, snap.WindowOccupancy, snap.LSQOccupancy,
+			snap.Waiting, snap.Executing, snap.WantPort, snap.Done,
+			snap.HeadOp, snap.HeadAge, fe)
+	}
+
+	s := core.Stats()
+	fmt.Printf("\nsummary over %d traced cycles (after %d skipped):\n", *cycles, *skip)
+	fmt.Printf("  IPC                  %.3f\n", s.IPC())
+	fmt.Printf("  mean window occupancy %.1f / 64\n", s.MeanWindowOccupancy())
+	fmt.Printf("  mean LSQ occupancy    %.1f / 32\n", s.MeanLSQOccupancy())
+	fmt.Printf("  front-end blocked     %.1f%% of traced cycles\n", 100*float64(fetchBlockedCycles)/float64(*cycles))
+	fmt.Printf("  loads awaiting ports  %.2f mean per traced cycle\n", float64(portWaitCycles)/float64(*cycles))
+	fmt.Printf("  issue histogram       ")
+	for n, c := range s.IssuedHistogram {
+		if c > 0 {
+			fmt.Printf("%d:%d ", n, c)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("  L1: %d loads, %d misses, %d LB hits, %d port retries\n",
+		sys.L1.Loads(), sys.L1.LoadMisses(), sys.L1.LineBufferHits(), sys.L1.PortRetries())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hbtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Package hbcache reproduces "Designing High Bandwidth On-Chip Caches"
+// (Wilson & Olukotun, ISCA 1997): a design-space study of multi-ported,
+// banked, duplicate, pipelined multi-cycle, line-buffered, and on-chip
+// DRAM primary data caches, evaluated by their effect on a four-issue
+// dynamic superscalar processor's IPC and — combined with an
+// FO4-normalized cache access-time model — on application execution
+// time.
+//
+// The building blocks live under internal/:
+//
+//   - internal/fo4: the access-time model (the paper's Figure 1) and
+//     cycle-time scaling rules.
+//   - internal/isa: the dynamic instruction representation and R10000
+//     latency table.
+//   - internal/workload: synthetic models of the paper's nine
+//     benchmarks (SPEC95 integer and floating point, plus SimOS
+//     multiprogramming workloads with kernel references).
+//   - internal/mem: the memory hierarchy — lockup-free multi-ported L1
+//     with MSHRs, line buffer, banked/duplicate/ideal ports, off-chip
+//     L2, on-chip DRAM cache with a row-buffer cache, bandwidth-limited
+//     buses, and main memory.
+//   - internal/cpu: the cycle-level four-issue out-of-order core.
+//   - internal/sim: configuration assembly and measurement.
+//   - internal/experiments: one runner per paper table and figure.
+//
+// Executables: cmd/hbsim (single runs), cmd/hbfigures (regenerate every
+// table and figure), cmd/hbcacti (the access-time model), cmd/hbcalib
+// (workload calibration aid). Runnable walkthroughs are under examples/.
+//
+// The benchmarks in bench_test.go regenerate each figure and print the
+// same rows the paper reports; see EXPERIMENTS.md for paper-versus-
+// measured comparisons.
+package hbcache

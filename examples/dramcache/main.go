@@ -1,0 +1,63 @@
+// Dramcache: evaluates the paper's most speculative design — a 4 MB
+// on-chip DRAM cache whose row buffers form a 16 KB two-way primary
+// cache with 512-byte lines — against the conventional 16 KB SRAM cache
+// backed by an off-chip 4 MB secondary cache. The paper's verdict: even
+// with an optimistic six-cycle DRAM hit time, the DRAM organization
+// loses on average, because the 512-byte lines cause conflict misses
+// that only the line buffer partially recovers; streaming floating point
+// codes are the exception.
+//
+// Run with: go run ./examples/dramcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/sim"
+)
+
+func main() {
+	fmt.Println("4 MB on-chip DRAM cache vs 16 KB SRAM + off-chip L2")
+	fmt.Println()
+	fmt.Printf("%-10s %-22s %-22s %-10s\n", "benchmark", "SRAM 16K+L2 IPC", "DRAM 6~..8~ IPC (+LB)", "verdict")
+
+	for _, bench := range []string{"gcc", "tomcatv", "database"} {
+		// Conventional organization: 16 KB SRAM primary cache (same
+		// capacity as the row-buffer cache), eight-way banked, line
+		// buffer, 4 MB off-chip L2 with a ten-cycle hit.
+		sram, err := sim.Run(sim.Config{
+			Benchmark: bench, Seed: 1, CPU: cpu.DefaultConfig(),
+			Memory: mem.DefaultSRAMSystem(16<<10, 1, mem.PortConfig{Kind: mem.BankedPorts, Count: 8}, true),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var dram [3]sim.Result
+		for i, hit := range []int{6, 7, 8} {
+			dram[i], err = sim.Run(sim.Config{
+				Benchmark: bench, Seed: 1, CPU: cpu.DefaultConfig(),
+				Memory: mem.DefaultDRAMSystem(hit, true),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		verdict := "SRAM wins"
+		if dram[0].IPC > sram.IPC {
+			verdict = "DRAM wins"
+		}
+		fmt.Printf("%-10s %-22.3f %.3f / %.3f / %.3f     %s\n",
+			bench, sram.IPC, dram[0].IPC, dram[1].IPC, dram[2].IPC, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("Each added cycle of DRAM hit time costs a few percent of IPC; the")
+	fmt.Println("single-cycle row-buffer cache absorbs most references, so the")
+	fmt.Println("sensitivity is modest — but the 512-byte lines start the DRAM")
+	fmt.Println("organization at a disadvantage the hit time cannot recover.")
+}

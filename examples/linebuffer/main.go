@@ -1,0 +1,55 @@
+// Linebuffer: an ablation of the paper's key architectural lever. The
+// line buffer is a 32-entry fully-associative level-zero cache inside
+// the load/store unit: hits return in one cycle and occupy no cache
+// port. This example shows its two effects — cutting port pressure on a
+// two-port duplicate cache, and hiding the extra latency of pipelined
+// (multi-cycle) caches — across all three benchmark groups.
+//
+// Run with: go run ./examples/linebuffer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/sim"
+)
+
+func run(bench string, hit int, lb bool) sim.Result {
+	res, err := sim.Run(sim.Config{
+		Benchmark: bench,
+		Seed:      1,
+		CPU:       cpu.DefaultConfig(),
+		Memory:    mem.DefaultSRAMSystem(32<<10, hit, mem.PortConfig{Kind: mem.DuplicatePorts}, lb),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Line buffer ablation: 32 KB duplicate cache, hit time 1-3 cycles")
+	fmt.Println()
+	fmt.Printf("%-10s %-6s %-10s %-10s %-8s %-12s\n",
+		"benchmark", "hit", "IPC", "IPC +LB", "gain", "LB hit/load")
+
+	for _, bench := range []string{"gcc", "tomcatv", "database"} {
+		for hit := 1; hit <= 3; hit++ {
+			plain := run(bench, hit, false)
+			with := run(bench, hit, true)
+			fmt.Printf("%-10s %d~     %-10.3f %-10.3f %+6.1f%%  %5.1f%%\n",
+				bench, hit, plain.IPC, with.IPC,
+				100*(with.IPC/plain.IPC-1), 100*with.LineBufferHitRate)
+		}
+		fmt.Println()
+	}
+
+	// The paper's observation: the line buffer's gain grows with cache
+	// pipeline depth, because each hit also hides the multi-cycle
+	// latency, not just a port.
+	fmt.Println("The gain grows with pipeline depth: a line buffer hit returns in")
+	fmt.Println("one cycle regardless of how deeply the cache behind it is pipelined.")
+}

@@ -1,0 +1,3 @@
+module hbcache
+
+go 1.22

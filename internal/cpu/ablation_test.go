@@ -1,0 +1,119 @@
+package cpu
+
+import (
+	"testing"
+
+	"hbcache/internal/isa"
+)
+
+func TestGsharePredictorAlternatingPattern(t *testing.T) {
+	// An alternating taken/not-taken branch defeats a two-bit counter
+	// (accuracy ~50%) but is perfectly learnable by gshare once its
+	// history register warms.
+	outcomes := make([]bool, 2000)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	measure := func(p *Predictor) float64 {
+		correct := 0
+		for _, taken := range outcomes {
+			pred := p.Predict(0x400)
+			if pred == taken {
+				correct++
+			}
+			p.Update(0x400, taken, pred != taken)
+		}
+		return float64(correct) / float64(len(outcomes))
+	}
+	bimodal := measure(NewPredictor(512))
+	gshare := measure(NewGshare(512, 8))
+	if gshare <= bimodal {
+		t.Errorf("gshare (%.2f) must beat bimodal (%.2f) on alternating branches", gshare, bimodal)
+	}
+	if gshare < 0.9 {
+		t.Errorf("gshare accuracy %.2f, want >= 0.9 on a period-2 pattern", gshare)
+	}
+}
+
+func TestGshareConfigWiring(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Gshare = true
+	cfg.GshareHistoryBits = 10
+	c, err := New(cfg, isa.NewSliceReader(nil), &fakeMem{latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Predictor().gshare {
+		t.Error("gshare config must build a gshare predictor")
+	}
+	// Default history bits when unset.
+	cfg.GshareHistoryBits = 0
+	c2, _ := New(cfg, isa.NewSliceReader(nil), &fakeMem{latency: 1})
+	if c2.Predictor().historyMask == 0 {
+		t.Error("zero history bits must default, not disable history")
+	}
+}
+
+func TestFULimitsRestrictIssue(t *testing.T) {
+	// 400 independent integer ops. Unrestricted 4-issue reaches IPC ~4;
+	// with a single integer unit IPC caps at ~1.
+	insts := make([]isa.Inst, 400)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.IntALU, Dst: int16(2 + i%60)}
+	}
+	free := DefaultConfig()
+	limited := DefaultConfig()
+	limited.FULimits = &FULimits{Int: 1}
+
+	runWith := func(cfg Config) Stats {
+		c, err := New(cfg, isa.NewSliceReader(insts), &fakeMem{latency: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100000 && !c.Done(); i++ {
+			c.Step()
+		}
+		return c.Stats()
+	}
+	f := runWith(free)
+	l := runWith(limited)
+	if f.IPC() < 3.5 {
+		t.Fatalf("unrestricted IPC = %.2f, want ~4", f.IPC())
+	}
+	if l.IPC() > 1.1 {
+		t.Errorf("one-int-unit IPC = %.2f, want <= ~1", l.IPC())
+	}
+}
+
+func TestFULimitsOnlyCapTheirClass(t *testing.T) {
+	// FP ops restricted to one unit must not restrict integer issue.
+	var insts []isa.Inst
+	for i := 0; i < 300; i++ {
+		insts = append(insts, isa.Inst{Op: isa.IntALU, Dst: int16(2 + i%30)})
+	}
+	cfg := DefaultConfig()
+	cfg.FULimits = &FULimits{FP: 1, Mem: 1}
+	c, err := New(cfg, isa.NewSliceReader(insts), &fakeMem{latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && !c.Done(); i++ {
+		c.Step()
+	}
+	if ipc := c.Stats().IPC(); ipc < 3.0 {
+		t.Errorf("integer IPC = %.2f under FP/Mem-only limits, want ~4", ipc)
+	}
+}
+
+func TestFUClassBuckets(t *testing.T) {
+	cases := map[isa.Op]int{
+		isa.IntALU: 0, isa.IntMul: 0, isa.IntDiv: 0, isa.Branch: 0, isa.Jump: 0, isa.Nop: 0,
+		isa.FPAdd: 1, isa.FPMul: 1, isa.FPDiv: 1,
+		isa.Load: 2, isa.Store: 2,
+	}
+	for op, want := range cases {
+		if got := fuClass(op); got != want {
+			t.Errorf("fuClass(%v) = %d, want %d", op, got, want)
+		}
+	}
+}

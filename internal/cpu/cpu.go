@@ -1,0 +1,636 @@
+// Package cpu is the cycle-level model of the paper's four-issue
+// dynamic superscalar processor: R10000 instruction latencies, a
+// 64-entry instruction window, a 32-entry load/store buffer, hardware
+// branch prediction, out-of-order issue with no restriction on the mix
+// of instructions issued per cycle, and a non-blocking interface to the
+// data memory hierarchy. The instruction cache is perfect (single
+// cycle), as in the paper.
+//
+// The model is trace driven: it consumes isa.Inst records and charges
+// time, enforcing register dataflow, structural limits (window, LSQ,
+// cache ports, MSHRs), memory ordering (store-to-load forwarding with
+// perfect disambiguation), and control dependences (dispatch stops at a
+// mispredicted branch until it resolves).
+package cpu
+
+import (
+	"fmt"
+
+	"hbcache/internal/isa"
+	"hbcache/internal/mem"
+)
+
+// DataMemory is the load/store interface the core drives; *mem.L1Cache
+// implements it.
+type DataMemory interface {
+	TryLoad(now mem.Cycle, addr uint64) (mem.LoadResult, bool)
+	EnqueueStore(addr uint64) bool
+	DrainStores(now mem.Cycle)
+	// StoreBufferProbe reports whether a retired-but-undrained store to
+	// the same 8-byte block is sitting in the store buffer, in which
+	// case a load forwards from it in a single cycle.
+	StoreBufferProbe(addr uint64) bool
+}
+
+// Config parameterizes the core. The zero value is invalid; use
+// DefaultConfig.
+type Config struct {
+	FetchWidth  int // instructions dispatched per cycle (paper: 4)
+	IssueWidth  int // instructions issued per cycle (paper: 4, any mix)
+	RetireWidth int // instructions retired per cycle
+	WindowSize  int // reorder buffer / instruction window (paper: 64)
+	LSQSize     int // load/store buffer entries (paper: 32)
+	// PredictorEntries sizes the two-bit branch history table.
+	PredictorEntries int
+	// Gshare switches the predictor to gshare indexing with
+	// GshareHistoryBits of global history (an ablation; the paper's
+	// machine is a plain two-bit table).
+	Gshare            bool
+	GshareHistoryBits int
+	// FULimits optionally restricts how many instructions of each class
+	// may issue per cycle. Nil reproduces the paper's processor, which
+	// places no restriction on the mix of instructions issued.
+	FULimits *FULimits
+	// MispredictPenalty is the front-end refill time in cycles after a
+	// mispredicted branch resolves.
+	MispredictPenalty int
+}
+
+// DefaultConfig returns the paper's processor.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        4,
+		IssueWidth:        4,
+		RetireWidth:       4,
+		WindowSize:        64,
+		LSQSize:           32,
+		PredictorEntries:  DefaultPredictorEntries,
+		MispredictPenalty: 3,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.FetchWidth <= 0, c.IssueWidth <= 0, c.RetireWidth <= 0:
+		return fmt.Errorf("cpu: widths must be positive: %+v", c)
+	case c.WindowSize <= 0:
+		return fmt.Errorf("cpu: window size must be positive")
+	case c.LSQSize <= 0:
+		return fmt.Errorf("cpu: LSQ size must be positive")
+	case c.MispredictPenalty < 0:
+		return fmt.Errorf("cpu: mispredict penalty must be non-negative")
+	}
+	return nil
+}
+
+// entry states.
+const (
+	stWaiting   uint8 = iota // in window, operands possibly outstanding
+	stExecuting              // issued, completes at doneAt
+	stWantPort               // load: address computed, waiting for a cache port
+	stDone                   // result available (from doneAt)
+)
+
+type entry struct {
+	inst  isa.Inst
+	seq   uint64
+	state uint8
+
+	srcSeq1, srcSeq2 uint64    // producing instruction seq, 0 = ready
+	doneAt           mem.Cycle // valid in stExecuting/stDone
+	addrReadyAt      mem.Cycle // loads: when address calculation finishes
+
+	mispredicted bool
+	issueAt      mem.Cycle // cycle the entry issued, for latency stats
+}
+
+// Stats are the core's cumulative counters.
+type Stats struct {
+	Cycles   uint64
+	Retired  uint64
+	Loads    uint64
+	Stores   uint64
+	Branches uint64
+
+	Mispredicts     uint64
+	LoadLatencySum  uint64 // issue-to-done, summed over loads
+	LoadForwarded   uint64 // loads satisfied by store-to-load forwarding
+	WindowFull      uint64 // dispatch stalls: window
+	LSQFull         uint64 // dispatch stalls: load/store buffer
+	StoreBufStalls  uint64 // retire stalls: L1 store buffer full
+	FetchBlocked    uint64 // dispatch stalls: unresolved mispredict
+	IssuedHistogram [8]uint64
+
+	// WindowOccupancySum and LSQOccupancySum accumulate per-cycle
+	// occupancies for mean-utilization reporting.
+	WindowOccupancySum uint64
+	LSQOccupancySum    uint64
+}
+
+// MeanWindowOccupancy returns the average number of live window entries
+// per cycle.
+func (s Stats) MeanWindowOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.WindowOccupancySum) / float64(s.Cycles)
+}
+
+// MeanLSQOccupancy returns the average number of live load/store buffer
+// entries per cycle.
+func (s Stats) MeanLSQOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.LSQOccupancySum) / float64(s.Cycles)
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MeanLoadLatency returns the average issue-to-completion latency of
+// loads in cycles.
+func (s Stats) MeanLoadLatency() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.LoadLatencySum) / float64(s.Loads)
+}
+
+// CPU is one simulated core bound to a trace and a data memory.
+type CPU struct {
+	cfg    Config
+	reader isa.Reader
+	dmem   DataMemory
+	pred   *Predictor
+
+	now mem.Cycle
+
+	rob     []entry
+	head    int // index of oldest entry
+	count   int // live entries
+	headSeq uint64
+	nextSeq uint64
+
+	lsqCount int
+
+	regProducer [isa.NumLogicalRegs]uint64 // reg -> producing seq (0 = ready)
+
+	traceDone     bool
+	pendingInst   isa.Inst
+	pendingValid  bool
+	mispredictSeq uint64    // seq of unresolved mispredicted branch, 0 = none
+	fetchResumeAt mem.Cycle // dispatch blocked until this cycle
+
+	stats Stats
+	// retireStalledStore is set when the head store could not enter the
+	// L1 store buffer this cycle.
+	retireStalledStore bool
+}
+
+// New builds a core. reader and dmem must be non-nil.
+func New(cfg Config, reader isa.Reader, dmem DataMemory) (*CPU, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if reader == nil || dmem == nil {
+		return nil, fmt.Errorf("cpu: reader and data memory are required")
+	}
+	entries := cfg.PredictorEntries
+	if entries == 0 {
+		entries = DefaultPredictorEntries
+	}
+	pred := NewPredictor(entries)
+	if cfg.Gshare {
+		pred = NewGshare(entries, cfg.GshareHistoryBits)
+	}
+	return &CPU{
+		cfg:     cfg,
+		reader:  reader,
+		dmem:    dmem,
+		pred:    pred,
+		rob:     make([]entry, cfg.WindowSize),
+		headSeq: 1,
+		nextSeq: 1,
+	}, nil
+}
+
+// Now returns the current cycle.
+func (c *CPU) Now() mem.Cycle { return c.now }
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Predictor exposes the branch predictor for reporting.
+func (c *CPU) Predictor() *Predictor { return c.pred }
+
+// Done reports whether the trace is exhausted and the window drained.
+func (c *CPU) Done() bool { return c.traceDone && c.count == 0 && !c.pendingValid }
+
+// idx maps a live sequence number to its window slot.
+func (c *CPU) idx(seq uint64) int {
+	return (c.head + int(seq-c.headSeq)) % len(c.rob)
+}
+
+// producerReady reports whether the value produced by seq is available
+// at the current cycle. Sequence 0 means "always ready"; a producer
+// older than the window head has retired and is therefore complete.
+func (c *CPU) producerReady(seq uint64) bool {
+	if seq == 0 || seq < c.headSeq {
+		return true
+	}
+	e := &c.rob[c.idx(seq)]
+	return e.state == stDone && e.doneAt <= c.now
+}
+
+// Run advances the core until maxInsts instructions have retired or the
+// trace ends, returning the cumulative stats. A maxInsts of zero runs to
+// trace end (which never happens with the unbounded generators).
+func (c *CPU) Run(maxInsts uint64) Stats {
+	target := c.stats.Retired + maxInsts
+	for !c.Done() {
+		if maxInsts > 0 && c.stats.Retired >= target {
+			break
+		}
+		c.Step()
+	}
+	return c.stats
+}
+
+// RunCycles advances the core by n cycles (or until trace end).
+func (c *CPU) RunCycles(n uint64) Stats {
+	for i := uint64(0); i < n && !c.Done(); i++ {
+		c.Step()
+	}
+	return c.stats
+}
+
+// ResetStats zeroes the cumulative counters (for post-warmup windows)
+// without disturbing microarchitectural state.
+func (c *CPU) ResetStats() { c.stats = Stats{} }
+
+// Step simulates one processor cycle.
+func (c *CPU) Step() {
+	c.now++
+	c.stats.Cycles++
+
+	c.complete()
+	c.retire()
+	issued := c.issue()
+	c.memoryAccess()
+	c.dispatch()
+	c.dmem.DrainStores(c.now)
+
+	if issued >= len(c.stats.IssuedHistogram) {
+		issued = len(c.stats.IssuedHistogram) - 1
+	}
+	c.stats.IssuedHistogram[issued]++
+	c.stats.WindowOccupancySum += uint64(c.count)
+	c.stats.LSQOccupancySum += uint64(c.lsqCount)
+}
+
+// Snapshot summarizes the microarchitectural state at the current
+// cycle, for pipeline tracing and debugging tools.
+type Snapshot struct {
+	Cycle           uint64
+	WindowOccupancy int
+	LSQOccupancy    int
+	// Per-state entry counts within the window.
+	Waiting, Executing, WantPort, Done int
+	// FetchBlocked is true while dispatch waits on an unresolved
+	// mispredicted branch or front-end refill.
+	FetchBlocked bool
+	// HeadOp and HeadAge describe the oldest instruction: its operation
+	// and how many cycles it has occupied the window head.
+	HeadOp  isa.Op
+	HeadAge uint64
+}
+
+// Snapshot captures the current pipeline state.
+func (c *CPU) Snapshot() Snapshot {
+	snap := Snapshot{
+		Cycle:           uint64(c.now),
+		WindowOccupancy: c.count,
+		LSQOccupancy:    c.lsqCount,
+		FetchBlocked:    c.mispredictSeq != 0 || c.now < c.fetchResumeAt,
+	}
+	pos := c.head
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[pos]
+		if pos++; pos == len(c.rob) {
+			pos = 0
+		}
+		switch e.state {
+		case stWaiting:
+			snap.Waiting++
+		case stExecuting:
+			snap.Executing++
+		case stWantPort:
+			snap.WantPort++
+		case stDone:
+			snap.Done++
+		}
+	}
+	if c.count > 0 {
+		head := &c.rob[c.head]
+		snap.HeadOp = head.inst.Op
+		if uint64(c.now) > uint64(head.issueAt) {
+			snap.HeadAge = uint64(c.now - head.issueAt)
+		}
+	}
+	return snap
+}
+
+// complete transitions executing entries whose results arrive this
+// cycle, resolving mispredicted branches.
+func (c *CPU) complete() {
+	pos := c.head
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[pos]
+		if pos++; pos == len(c.rob) {
+			pos = 0
+		}
+		if e.state == stExecuting && e.doneAt <= c.now {
+			e.state = stDone
+			if e.inst.Op == isa.Branch {
+				c.pred.Update(e.inst.PC, e.inst.Taken, e.mispredicted)
+				if e.mispredicted && c.mispredictSeq == e.seq {
+					c.mispredictSeq = 0
+					c.fetchResumeAt = e.doneAt + mem.Cycle(c.cfg.MispredictPenalty)
+				}
+			}
+			if e.inst.Op == isa.Load {
+				c.stats.LoadLatencySum += uint64(e.doneAt - e.issueAt)
+			}
+		}
+	}
+}
+
+// retire removes completed entries in order, handing stores to the L1
+// store buffer.
+func (c *CPU) retire() {
+	c.retireStalledStore = false
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if e.state != stDone || e.doneAt > c.now {
+			return
+		}
+		if e.inst.Op == isa.Store {
+			if !c.dmem.EnqueueStore(e.inst.Addr) {
+				c.stats.StoreBufStalls++
+				c.retireStalledStore = true
+				return
+			}
+			c.stats.Stores++
+			c.lsqCount--
+		}
+		if e.inst.Op == isa.Load {
+			c.lsqCount--
+		}
+		c.stats.Retired++
+		c.head = (c.head + 1) % len(c.rob)
+		c.headSeq++
+		c.count--
+	}
+}
+
+// FULimits caps per-cycle issue by instruction class, modeling a finite
+// functional-unit pool (e.g. the R10000's two integer units, two
+// floating point units, and single load/store unit). Zero in any field
+// means unlimited for that class.
+type FULimits struct {
+	Int int // integer ALU/multiply/divide and branches
+	FP  int // floating point
+	Mem int // loads and stores (address generation)
+}
+
+// class buckets an op for FU accounting.
+func fuClass(op isa.Op) int {
+	switch {
+	case op.IsMem():
+		return 2
+	case op.IsFP():
+		return 1
+	default:
+		return 0
+	}
+}
+
+// issue selects up to IssueWidth ready entries, oldest first, and starts
+// them executing. The paper's processor places no functional-unit
+// restriction on the issue mix; configuring FULimits imposes one as an
+// ablation.
+func (c *CPU) issue() int {
+	issued := 0
+	var classIssued [3]int
+	classLimit := [3]int{}
+	if c.cfg.FULimits != nil {
+		classLimit = [3]int{c.cfg.FULimits.Int, c.cfg.FULimits.FP, c.cfg.FULimits.Mem}
+	}
+	pos := c.head
+	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
+		e := &c.rob[pos]
+		if pos++; pos == len(c.rob) {
+			pos = 0
+		}
+		if e.state != stWaiting {
+			continue
+		}
+		cls := fuClass(e.inst.Op)
+		if classLimit[cls] > 0 && classIssued[cls] >= classLimit[cls] {
+			continue
+		}
+		if !c.producerReady(e.srcSeq1) || !c.producerReady(e.srcSeq2) {
+			continue
+		}
+		classIssued[cls]++
+		e.issueAt = c.now
+		issued++
+		switch e.inst.Op {
+		case isa.Load:
+			// One cycle of address calculation, then the access
+			// contends for a cache port.
+			e.addrReadyAt = c.now + mem.Cycle(e.inst.Op.Latency())
+			e.state = stWantPort
+		default:
+			e.doneAt = c.now + mem.Cycle(e.inst.Op.Latency())
+			e.state = stExecuting
+		}
+	}
+	return issued
+}
+
+// memoryAccess lets loads whose addresses are known contend for cache
+// ports, oldest first. The load/store unit issues cache accesses in
+// program order from the load/store buffer, as the load/store units of
+// the paper's era did: a load that cannot start (no port or bank, no
+// MSHR, or blocked behind an unresolved store) also holds back the
+// loads behind it. This in-order access discipline is what makes cache
+// port bandwidth a first-order performance limit in the study.
+//
+// Store-to-load forwarding satisfies a load from the youngest older
+// store to the same 8-byte block once that store has computed its
+// address; an older overlapping store whose address is not yet computed
+// blocks the load (the model has perfect memory disambiguation, so
+// non-overlapping stores never block).
+func (c *CPU) memoryAccess() {
+	pos := c.head
+	seq := c.headSeq
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[pos]
+		if pos++; pos == len(c.rob) {
+			pos = 0
+		}
+		s := seq
+		seq++
+		if e.state != stWantPort {
+			continue
+		}
+		if e.addrReadyAt > c.now {
+			// Address not computed yet: younger loads may still
+			// proceed (they issued earlier and are already past
+			// address calculation).
+			continue
+		}
+		switch c.forwardingState(s, e.inst.Addr) {
+		case fwdHit:
+			e.doneAt = c.now + 1
+			e.state = stExecuting
+			c.stats.LoadForwarded++
+			continue
+		case fwdBlocked:
+			return // in-order access: younger loads wait too
+		}
+		if res, ok := c.dmem.TryLoad(c.now, e.inst.Addr); ok {
+			e.doneAt = res.Done
+			e.state = stExecuting
+		} else {
+			return // structural stall: younger loads wait too
+		}
+	}
+}
+
+type fwdResult int
+
+const (
+	fwdNone fwdResult = iota
+	fwdHit
+	fwdBlocked
+)
+
+// forwardingState scans older stores in the window for an overlap with
+// the load's 8-byte block.
+func (c *CPU) forwardingState(loadSeq uint64, addr uint64) fwdResult {
+	block := addr >> 3
+	for seq := loadSeq - 1; seq >= c.headSeq; seq-- {
+		e := &c.rob[c.idx(seq)]
+		if e.inst.Op != isa.Store {
+			continue
+		}
+		if e.inst.Addr>>3 != block {
+			continue
+		}
+		// Youngest older matching store decides.
+		if e.state == stDone || (e.state == stExecuting && e.doneAt <= c.now) {
+			return fwdHit
+		}
+		return fwdBlocked
+	}
+	// Retired stores awaiting drain in the L1 store buffer also forward.
+	if c.dmem.StoreBufferProbe(addr) {
+		return fwdHit
+	}
+	return fwdNone
+}
+
+// dispatch brings instructions from the trace into the window, stopping
+// at structural limits and at unresolved mispredicted branches.
+func (c *CPU) dispatch() {
+	if c.mispredictSeq != 0 {
+		c.stats.FetchBlocked++
+		return
+	}
+	if c.now < c.fetchResumeAt {
+		c.stats.FetchBlocked++
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.count == len(c.rob) {
+			c.stats.WindowFull++
+			return
+		}
+		inst, ok := c.nextInst()
+		if !ok {
+			return
+		}
+		if inst.Op.IsMem() && c.lsqCount == c.cfg.LSQSize {
+			c.stats.LSQFull++
+			c.pendingInst = inst
+			c.pendingValid = true
+			return
+		}
+		c.insert(inst)
+		if c.mispredictSeq != 0 {
+			// The just-dispatched branch was mispredicted: nothing
+			// younger enters the window until it resolves.
+			return
+		}
+	}
+}
+
+// nextInst returns the next trace instruction, honouring a previously
+// stalled one.
+func (c *CPU) nextInst() (isa.Inst, bool) {
+	if c.pendingValid {
+		c.pendingValid = false
+		return c.pendingInst, true
+	}
+	if c.traceDone {
+		return isa.Inst{}, false
+	}
+	inst, ok := c.reader.Next()
+	if !ok {
+		c.traceDone = true
+		return isa.Inst{}, false
+	}
+	return inst, true
+}
+
+// insert places an instruction at the window tail.
+func (c *CPU) insert(inst isa.Inst) {
+	seq := c.nextSeq
+	c.nextSeq++
+	tail := (c.head + c.count) % len(c.rob)
+	e := &c.rob[tail]
+	*e = entry{inst: inst, seq: seq, state: stWaiting}
+	if inst.Src1 != isa.NoReg {
+		e.srcSeq1 = c.regProducer[inst.Src1]
+	}
+	if inst.Src2 != isa.NoReg {
+		e.srcSeq2 = c.regProducer[inst.Src2]
+	}
+	if inst.Dst != isa.NoReg {
+		c.regProducer[inst.Dst] = seq
+	}
+	c.count++
+	switch inst.Op {
+	case isa.Load:
+		c.stats.Loads++
+		c.lsqCount++
+	case isa.Store:
+		c.lsqCount++
+	case isa.Branch:
+		c.stats.Branches++
+		predicted := c.pred.Predict(inst.PC)
+		if predicted != inst.Taken {
+			e.mispredicted = true
+			c.mispredictSeq = seq
+			c.stats.Mispredicts++
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package cpu
+
+import (
+	"testing"
+
+	"hbcache/internal/isa"
+	"hbcache/internal/mem"
+)
+
+// fakeMem is a DataMemory with a fixed load latency, unlimited ports,
+// and an always-accepting store buffer; it records traffic.
+type fakeMem struct {
+	latency   mem.Cycle
+	loads     []uint64
+	stores    []uint64
+	refuseN   int // refuse the first N load attempts (structural stall)
+	storeFull int // refuse the first N store enqueues
+}
+
+func (f *fakeMem) TryLoad(now mem.Cycle, addr uint64) (mem.LoadResult, bool) {
+	if f.refuseN > 0 {
+		f.refuseN--
+		return mem.LoadResult{}, false
+	}
+	f.loads = append(f.loads, addr)
+	return mem.LoadResult{Done: now + f.latency}, true
+}
+
+func (f *fakeMem) EnqueueStore(addr uint64) bool {
+	if f.storeFull > 0 {
+		f.storeFull--
+		return false
+	}
+	f.stores = append(f.stores, addr)
+	return true
+}
+
+func (f *fakeMem) DrainStores(now mem.Cycle) {}
+
+func (f *fakeMem) StoreBufferProbe(addr uint64) bool {
+	for _, a := range f.stores {
+		if a>>3 == addr>>3 {
+			return true
+		}
+	}
+	return false
+}
+
+func newCPU(t *testing.T, insts []isa.Inst, dmem DataMemory) *CPU {
+	t.Helper()
+	c, err := New(DefaultConfig(), isa.NewSliceReader(insts), dmem)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func run(t *testing.T, c *CPU) Stats {
+	t.Helper()
+	for i := 0; i < 1_000_000 && !c.Done(); i++ {
+		c.Step()
+	}
+	if !c.Done() {
+		t.Fatal("CPU did not drain")
+	}
+	return c.Stats()
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{FetchWidth: 4, IssueWidth: 4, RetireWidth: 0, WindowSize: 64, LSQSize: 32},
+		{FetchWidth: 4, IssueWidth: 4, RetireWidth: 4, WindowSize: 0, LSQSize: 32},
+		{FetchWidth: 4, IssueWidth: 4, RetireWidth: 4, WindowSize: 64, LSQSize: 0},
+		{FetchWidth: 4, IssueWidth: 4, RetireWidth: 4, WindowSize: 64, LSQSize: 32, MispredictPenalty: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, isa.NewSliceReader(nil), &fakeMem{}); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	if _, err := New(DefaultConfig(), nil, &fakeMem{}); err == nil {
+		t.Error("nil reader must fail")
+	}
+	if _, err := New(DefaultConfig(), isa.NewSliceReader(nil), nil); err == nil {
+		t.Error("nil memory must fail")
+	}
+}
+
+func TestIndependentALUOpsReachIssueWidth(t *testing.T) {
+	// 400 independent single-cycle ALU ops on a 4-issue machine: IPC
+	// must approach 4.
+	insts := make([]isa.Inst, 400)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.IntALU, Dst: int16(2 + i%60), PC: uint64(i * 4)}
+	}
+	s := run(t, newCPU(t, insts, &fakeMem{latency: 1}))
+	if s.Retired != 400 {
+		t.Fatalf("retired %d, want 400", s.Retired)
+	}
+	if ipc := s.IPC(); ipc < 3.5 {
+		t.Errorf("IPC = %.2f, want >= 3.5 for independent ops", ipc)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	// A chain where each op reads the previous op's result: IPC ~ 1.
+	insts := make([]isa.Inst, 300)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.IntALU, Dst: 2, Src1: 2, PC: uint64(i * 4)}
+	}
+	s := run(t, newCPU(t, insts, &fakeMem{latency: 1}))
+	if ipc := s.IPC(); ipc > 1.1 {
+		t.Errorf("IPC = %.2f, want ~1 for a serial chain", ipc)
+	}
+}
+
+func TestLongLatencyOpBlocksDependents(t *testing.T) {
+	// An integer divide (35 cycles) followed by a dependent add: the
+	// add cannot complete before the divide.
+	insts := []isa.Inst{
+		{Op: isa.IntDiv, Dst: 2},
+		{Op: isa.IntALU, Dst: 3, Src1: 2},
+	}
+	s := run(t, newCPU(t, insts, &fakeMem{latency: 1}))
+	if s.Cycles < 35 {
+		t.Errorf("cycles = %d, want >= 35 (divide latency)", s.Cycles)
+	}
+}
+
+func TestLoadLatencyIncludesAddressCalc(t *testing.T) {
+	// The paper: load latency is one cycle greater than the cache
+	// access time. With a 5-cycle memory, a dependent consumer of a
+	// single load retires no earlier than addr-calc + 5.
+	insts := []isa.Inst{
+		{Op: isa.Load, Dst: 2, Addr: 0x100, Size: 8},
+		{Op: isa.IntALU, Dst: 3, Src1: 2},
+	}
+	f := &fakeMem{latency: 5}
+	s := run(t, newCPU(t, insts, f))
+	// cycle 1: dispatch; cycle 2: load issues (addr calc); cycle 3:
+	// port, done at 8; cycle 8: add issues? add sees ready at 8 ->
+	// issues cycle 8... completes 9, retires 9-10.
+	if s.Cycles < 9 {
+		t.Errorf("cycles = %d, want >= 9", s.Cycles)
+	}
+	if len(f.loads) != 1 || f.loads[0] != 0x100 {
+		t.Errorf("loads seen = %v", f.loads)
+	}
+	if s.MeanLoadLatency() < 6 {
+		t.Errorf("load latency = %.1f, want >= 6 (1 addr + 5 mem)", s.MeanLoadLatency())
+	}
+}
+
+func TestPortRefusalRetries(t *testing.T) {
+	// Memory refuses the first three attempts: the load must retry and
+	// still complete.
+	insts := []isa.Inst{{Op: isa.Load, Dst: 2, Addr: 0x40, Size: 8}}
+	f := &fakeMem{latency: 2, refuseN: 3}
+	s := run(t, newCPU(t, insts, f))
+	if s.Retired != 1 || len(f.loads) != 1 {
+		t.Fatalf("load did not complete after retries: %+v", s)
+	}
+	if s.Cycles < 6 {
+		t.Errorf("cycles = %d, want >= 6 (3 refused cycles)", s.Cycles)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// A load from the same 8-byte block as an older store must forward
+	// and never reach the cache.
+	insts := []isa.Inst{
+		{Op: isa.Store, Addr: 0x100, Size: 8},
+		{Op: isa.Load, Dst: 2, Addr: 0x100, Size: 8},
+	}
+	f := &fakeMem{latency: 50}
+	s := run(t, newCPU(t, insts, f))
+	if s.LoadForwarded != 1 {
+		t.Errorf("forwarded = %d, want 1", s.LoadForwarded)
+	}
+	if len(f.loads) != 0 {
+		t.Errorf("cache saw %d loads, want 0 (forwarded)", len(f.loads))
+	}
+	if s.Cycles > 20 {
+		t.Errorf("cycles = %d; forwarding should avoid the 50-cycle memory", s.Cycles)
+	}
+}
+
+func TestLoadNotBlockedByNonMatchingStore(t *testing.T) {
+	// Perfect disambiguation: a load to a different block proceeds even
+	// though an older store exists.
+	insts := []isa.Inst{
+		{Op: isa.Store, Addr: 0x100, Size: 8, Src1: 2},
+		{Op: isa.Load, Dst: 3, Addr: 0x900, Size: 8},
+	}
+	f := &fakeMem{latency: 2}
+	s := run(t, newCPU(t, insts, f))
+	if len(f.loads) != 1 {
+		t.Errorf("cache saw %d loads, want 1", len(f.loads))
+	}
+	if s.LoadForwarded != 0 {
+		t.Error("non-matching store must not forward")
+	}
+}
+
+func TestMispredictStallsDispatch(t *testing.T) {
+	// A never-taken branch at a fresh PC is predicted taken (counters
+	// initialize weakly taken), so it mispredicts; instructions behind
+	// it must wait for resolve + penalty.
+	straight := make([]isa.Inst, 40)
+	for i := range straight {
+		straight[i] = isa.Inst{Op: isa.IntALU, Dst: int16(2 + i%60), PC: uint64(0x9000 + i*4)}
+	}
+	withBranch := append([]isa.Inst{{Op: isa.Branch, PC: 0x100, Taken: false}}, straight...)
+	sNo := run(t, newCPU(t, straight, &fakeMem{latency: 1}))
+	sBr := run(t, newCPU(t, withBranch, &fakeMem{latency: 1}))
+	if sBr.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d, want 1", sBr.Mispredicts)
+	}
+	if sBr.Cycles < sNo.Cycles+3 {
+		t.Errorf("mispredict cost too small: %d vs %d cycles", sBr.Cycles, sNo.Cycles)
+	}
+}
+
+func TestPredictorLearnsLoop(t *testing.T) {
+	// A branch taken 50 times then not taken once, repeated: the
+	// two-bit predictor should mispredict about once per loop exit.
+	var insts []isa.Inst
+	for loop := 0; loop < 20; loop++ {
+		for it := 0; it < 50; it++ {
+			insts = append(insts, isa.Inst{Op: isa.IntALU, Dst: 2, PC: 0x200})
+			insts = append(insts, isa.Inst{Op: isa.Branch, PC: 0x204, Taken: it != 49})
+		}
+	}
+	s := run(t, newCPU(t, insts, &fakeMem{latency: 1}))
+	if s.Branches != 1000 {
+		t.Fatalf("branches = %d, want 1000", s.Branches)
+	}
+	// Expect ~20 mispredicts (one per exit), certainly < 6%.
+	if s.Mispredicts > 60 {
+		t.Errorf("mispredicts = %d, want ~20 for a learnable loop", s.Mispredicts)
+	}
+}
+
+func TestWindowLimitsOutstanding(t *testing.T) {
+	// A 200-cycle load followed by many independent ALU ops: the window
+	// (64) caps how much work proceeds under the miss, so total cycles
+	// must reflect the load's latency (the window fills and stalls).
+	insts := []isa.Inst{{Op: isa.Load, Dst: 2, Addr: 0x100, Size: 8}}
+	for i := 0; i < 300; i++ {
+		insts = append(insts, isa.Inst{Op: isa.IntALU, Dst: int16(3 + i%50)})
+	}
+	s := run(t, newCPU(t, insts, &fakeMem{latency: 200}))
+	if s.Cycles < 200 {
+		t.Errorf("cycles = %d, want >= 200 (window blocked behind the load)", s.Cycles)
+	}
+	if s.WindowFull == 0 {
+		t.Error("window-full stalls must be counted")
+	}
+}
+
+func TestLSQLimit(t *testing.T) {
+	// More outstanding memory ops than LSQ entries: dispatch must stall
+	// on the LSQ, not crash; everything still retires.
+	var insts []isa.Inst
+	for i := 0; i < 100; i++ {
+		insts = append(insts, isa.Inst{Op: isa.Load, Dst: int16(2 + i%50), Addr: uint64(0x1000 + i*64), Size: 8})
+	}
+	s := run(t, newCPU(t, insts, &fakeMem{latency: 100}))
+	if s.Retired != 100 {
+		t.Fatalf("retired %d, want 100", s.Retired)
+	}
+	if s.LSQFull == 0 {
+		t.Error("LSQ-full stalls must be counted")
+	}
+}
+
+func TestStoreBufferBackpressureStallsRetire(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.Store, Addr: 0x100, Size: 8},
+		{Op: isa.IntALU, Dst: 2},
+	}
+	f := &fakeMem{latency: 1, storeFull: 5}
+	s := run(t, newCPU(t, insts, f))
+	if s.StoreBufStalls == 0 {
+		t.Error("store-buffer stalls must be counted")
+	}
+	if s.Retired != 2 || len(f.stores) != 1 {
+		t.Errorf("retired=%d stores=%d", s.Retired, len(f.stores))
+	}
+}
+
+func TestRetireInOrder(t *testing.T) {
+	// A slow op followed by fast ones: nothing retires before the slow
+	// op, so cycles >= divide latency even though later ops are ready.
+	insts := []isa.Inst{
+		{Op: isa.IntDiv, Dst: 2},
+		{Op: isa.IntALU, Dst: 3},
+		{Op: isa.IntALU, Dst: 4},
+	}
+	s := run(t, newCPU(t, insts, &fakeMem{latency: 1}))
+	if s.Cycles < 35 {
+		t.Errorf("cycles = %d; in-order retire must wait for the divide", s.Cycles)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.MeanLoadLatency() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+	s = Stats{Cycles: 10, Retired: 15, Loads: 3, LoadLatencySum: 12}
+	if s.IPC() != 1.5 {
+		t.Errorf("IPC = %v, want 1.5", s.IPC())
+	}
+	if s.MeanLoadLatency() != 4 {
+		t.Errorf("load latency = %v, want 4", s.MeanLoadLatency())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	insts := make([]isa.Inst, 50)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.IntALU, Dst: int16(2 + i%60)}
+	}
+	c := newCPU(t, insts, &fakeMem{latency: 1})
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	c.ResetStats()
+	if c.Stats().Cycles != 0 {
+		t.Error("ResetStats must zero counters")
+	}
+	run(t, c)
+	if c.Stats().Retired == 0 {
+		t.Error("post-reset retires must accumulate")
+	}
+}
+
+func TestPredictorStandalone(t *testing.T) {
+	p := NewPredictor(512)
+	// Initial state is weakly taken.
+	if !p.Predict(0x400) {
+		t.Error("initial prediction must be taken")
+	}
+	// Train not-taken twice: prediction flips.
+	p.Update(0x400, false, false)
+	p.Update(0x400, false, false)
+	if p.Predict(0x400) {
+		t.Error("prediction must flip after two not-taken outcomes")
+	}
+	p.Update(0x400, true, true)
+	if p.Mispredicts() != 1 {
+		t.Errorf("mispredicts = %d, want 1", p.Mispredicts())
+	}
+	if p.Accuracy() >= 1 {
+		t.Error("accuracy must drop below 1 after a mispredict")
+	}
+	fresh := NewPredictor(1)
+	if fresh.Accuracy() != 1 {
+		t.Error("accuracy with no branches must be 1")
+	}
+}
+
+func TestCPUWithRealHierarchy(t *testing.T) {
+	// Integration: the core against a real SRAM memory system. A tight
+	// working set fits in a 32 KB cache; the run must finish with a
+	// plausible IPC.
+	var insts []isa.Inst
+	for i := 0; i < 3000; i++ {
+		insts = append(insts, isa.Inst{Op: isa.Load, Dst: int16(2 + i%30), Addr: uint64((i * 8) % 8192), Size: 8, PC: uint64(i%16) * 4})
+		insts = append(insts, isa.Inst{Op: isa.IntALU, Dst: int16(32 + i%30), Src1: int16(2 + i%30)})
+		insts = append(insts, isa.Inst{Op: isa.IntALU, Dst: int16(62), Src1: int16(32 + i%30)})
+	}
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig(), isa.NewSliceReader(insts), sys.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run(t, c)
+	if s.Retired != 9000 {
+		t.Fatalf("retired %d, want 9000", s.Retired)
+	}
+	ipc := s.IPC()
+	if ipc < 0.5 || ipc > 4 {
+		t.Errorf("IPC = %.2f, want a plausible value", ipc)
+	}
+	if sys.L1.Loads() == 0 {
+		t.Error("hierarchy saw no loads")
+	}
+}

@@ -1,0 +1,118 @@
+package cpu
+
+// Predictor is the hardware branch predictor: a table of two-bit
+// saturating counters indexed by branch PC, as in the MIPS R10000 the
+// paper's processor model follows, or — when built with NewGshare — by
+// PC xor a global history register (an anachronistic upgrade, provided
+// as an ablation). Unconditional jumps are always predicted correctly
+// by the front end.
+type Predictor struct {
+	counters []uint8
+	mask     uint64
+
+	gshare      bool
+	history     uint64
+	historyMask uint64
+
+	predictions Counter
+	mispredicts Counter
+}
+
+// DefaultPredictorEntries matches the R10000's 512-entry branch history
+// table.
+const DefaultPredictorEntries = 512
+
+// NewPredictor returns a two-bit predictor with the given table size
+// (rounded up to a power of two), initialized weakly taken.
+func NewPredictor(entries int) *Predictor {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	p := &Predictor{counters: make([]uint8, n), mask: uint64(n - 1)}
+	for i := range p.counters {
+		p.counters[i] = 2 // weakly taken: loops warm up fast
+	}
+	return p
+}
+
+// NewGshare returns a gshare predictor: the counter table is indexed by
+// the branch PC xor the last historyBits branch outcomes.
+func NewGshare(entries, historyBits int) *Predictor {
+	p := NewPredictor(entries)
+	p.gshare = true
+	if historyBits <= 0 {
+		historyBits = 8
+	}
+	p.historyMask = 1<<uint(historyBits) - 1
+	return p
+}
+
+func (p *Predictor) index(pc uint64) uint64 {
+	i := pc >> 2
+	if p.gshare {
+		i ^= p.history & p.historyMask
+	}
+	return i & p.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.predictions.Inc()
+	return p.counters[p.index(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved outcome and records
+// whether the earlier prediction was wrong.
+func (p *Predictor) Update(pc uint64, taken, mispredicted bool) {
+	if mispredicted {
+		p.mispredicts.Inc()
+	}
+	i := p.index(pc)
+	c := p.counters[i]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	p.counters[i] = c
+	if p.gshare {
+		p.history = p.history<<1 | boolBit(taken)
+	}
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Predictions returns the number of conditional branches predicted.
+func (p *Predictor) Predictions() uint64 { return p.predictions.Value() }
+
+// Mispredicts returns the number of wrong predictions.
+func (p *Predictor) Mispredicts() uint64 { return p.mispredicts.Value() }
+
+// Accuracy returns the fraction of correct predictions, or 1 when no
+// branches have resolved.
+func (p *Predictor) Accuracy() float64 {
+	if p.predictions == 0 {
+		return 1
+	}
+	return 1 - float64(p.mispredicts)/float64(p.predictions)
+}
+
+// Counter is a simple event count.
+type Counter uint64
+
+// Inc adds one.
+func (c *Counter) Inc() { *c++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { *c += Counter(d) }
+
+// Value reads the count.
+func (c Counter) Value() uint64 { return uint64(c) }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hbcache/internal/fo4"
+	"hbcache/internal/sim"
+	"hbcache/internal/stats"
+	"hbcache/internal/workload"
+)
+
+// Figure1 tabulates the access-time model: FO4 delay versus capacity for
+// single-ported and eight-way banked caches, plus the hit time in
+// processor cycles at the baseline 25 FO4 clock.
+func Figure1() *stats.Table {
+	t := stats.NewTable("size", "single-ported FO4", "8-way banked FO4", "cycles @25 FO4 (single)", "cycles @25 FO4 (banked)")
+	for _, b := range fo4.PowerOfTwoSizes() {
+		sp := fo4.MustAccessTime(fo4.SinglePorted, b)
+		bk := fo4.MustAccessTime(fo4.EightWayBanked, b)
+		spc, _ := fo4.HitCycles(fo4.SinglePorted, b, fo4.BaselineCycleFO4)
+		bkc, _ := fo4.HitCycles(fo4.EightWayBanked, b, fo4.BaselineCycleFO4)
+		t.AddRow(
+			fo4.SizeLabel(b),
+			fmt.Sprintf("%.2f", sp),
+			fmt.Sprintf("%.2f", bk),
+			fmt.Sprintf("%d", spc),
+			fmt.Sprintf("%d", bkc),
+		)
+	}
+	return t
+}
+
+// Table2 compares the paper's execution-time and instruction-mix
+// percentages with what the synthetic generators actually emit.
+func Table2(o Options) (*stats.Table, error) {
+	t := stats.NewTable("benchmark", "group",
+		"kernel% (paper)", "user% (paper)", "idle% (paper)",
+		"load% (paper)", "load% (model)",
+		"store% (paper)", "store% (model)",
+		"kernel% of busy (model)")
+	insts := o.MeasureInsts
+	if insts == 0 {
+		insts = 200_000
+	}
+	for _, name := range o.benchmarks(workload.BenchmarkNames()) {
+		g, err := workload.New(name, o.seed())
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < insts; i++ {
+			g.Next()
+		}
+		m := g.Model()
+		t.AddRow(
+			name, m.Group.String(),
+			fmt.Sprintf("%.1f", m.Paper.KernelPct),
+			fmt.Sprintf("%.1f", m.Paper.UserPct),
+			fmt.Sprintf("%.1f", m.Paper.IdlePct),
+			fmt.Sprintf("%.1f", m.Paper.LoadPct),
+			fmt.Sprintf("%.1f", g.MeasuredLoadPct()),
+			fmt.Sprintf("%.1f", m.Paper.StorePct),
+			fmt.Sprintf("%.1f", g.MeasuredStorePct()),
+			fmt.Sprintf("%.1f", g.MeasuredKernelPct()),
+		)
+	}
+	return t, nil
+}
+
+// Figure3 measures misses per instruction for single-ported two-way
+// 32-byte-line caches from 4 KB to 1 MB, per benchmark.
+func Figure3(o Options) (*stats.Table, error) {
+	sizes := fo4.PowerOfTwoSizes()
+	header := []string{"benchmark"}
+	for _, s := range sizes {
+		header = append(header, fo4.SizeLabel(s))
+	}
+	t := stats.NewTable(header...)
+	for _, name := range o.benchmarks(workload.BenchmarkNames()) {
+		row := []string{name}
+		for _, s := range sizes {
+			m, err := sim.MissRatePoint(name, o.seed(), s, o.MeasureInsts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", 100*m))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hbcache/internal/fo4"
+	"hbcache/internal/mem"
+	"hbcache/internal/plot"
+	"hbcache/internal/sim"
+	"hbcache/internal/workload"
+)
+
+// Figure1Chart renders the access-time curves as an ASCII line chart.
+func Figure1Chart() *plot.LineChart {
+	sizes := fo4.PowerOfTwoSizes()
+	var labels []string
+	var sp, bk []float64
+	for _, b := range sizes {
+		labels = append(labels, fo4.SizeLabel(b))
+		sp = append(sp, fo4.MustAccessTime(fo4.SinglePorted, b))
+		bk = append(bk, fo4.MustAccessTime(fo4.EightWayBanked, b))
+	}
+	return &plot.LineChart{
+		Title:   "Figure 1: cache access time (FO4) vs capacity",
+		YLabel:  "access time (FO4)",
+		XLabels: labels,
+		Series: []plot.Series{
+			{Name: "single-ported", Points: sp},
+			{Name: "8-way banked", Points: bk},
+		},
+	}
+}
+
+// Figure3Chart renders misses/instruction versus cache size for the
+// requested benchmarks (default: the three representatives, to keep the
+// chart readable).
+func Figure3Chart(o Options) (*plot.LineChart, error) {
+	benches := o.benchmarks(representatives)
+	sizes := fo4.PowerOfTwoSizes()
+	var labels []string
+	for _, s := range sizes {
+		labels = append(labels, fo4.SizeLabel(s))
+	}
+	var series []plot.Series
+	for _, bench := range benches {
+		var pts []float64
+		for _, s := range sizes {
+			m, err := sim.MissRatePoint(bench, o.seed(), s, o.MeasureInsts)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, 100*m)
+		}
+		series = append(series, plot.Series{Name: bench, Points: pts})
+	}
+	return &plot.LineChart{
+		Title:   "Figure 3: misses per instruction (%) vs cache size",
+		YLabel:  "misses/instruction (%)",
+		XLabels: labels,
+		Series:  series,
+	}, nil
+}
+
+// Figure8Chart renders IPC versus cache size for one benchmark across
+// the six organizations of Figure 8 (duplicate and eight-way banked,
+// one to three cycles, all with a line buffer).
+func Figure8Chart(o Options, bench string) (*plot.LineChart, error) {
+	if _, err := workload.ModelFor(bench); err != nil {
+		return nil, err
+	}
+	sizes := fo4.PowerOfTwoSizes()
+	var labels []string
+	for _, s := range sizes {
+		labels = append(labels, fo4.SizeLabel(s))
+	}
+	orgs := []struct {
+		label string
+		ports mem.PortConfig
+		hit   int
+	}{
+		{"duplicate 1~", duplicatePorts, 1},
+		{"duplicate 2~", duplicatePorts, 2},
+		{"duplicate 3~", duplicatePorts, 3},
+		{"banked 1~", banked8, 1},
+		{"banked 2~", banked8, 2},
+		{"banked 3~", banked8, 3},
+	}
+	var series []plot.Series
+	for _, org := range orgs {
+		var pts []float64
+		for _, s := range sizes {
+			r, err := o.run(bench, mem.DefaultSRAMSystem(s, org.hit, org.ports, true))
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, r.IPC)
+		}
+		series = append(series, plot.Series{Name: org.label, Points: pts})
+	}
+	return &plot.LineChart{
+		Title:   fmt.Sprintf("Figure 8 (%s): IPC vs cache size, with line buffer", bench),
+		YLabel:  "IPC",
+		XLabels: labels,
+		Series:  series,
+	}, nil
+}
+
+// Figure9Chart renders normalized execution time versus processor cycle
+// time for one benchmark, one series per cache pipeline depth.
+func Figure9Chart(o Options, bench string) (*plot.LineChart, error) {
+	if _, err := workload.ModelFor(bench); err != nil {
+		return nil, err
+	}
+	ref, err := o.run(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10))
+	if err != nil {
+		return nil, err
+	}
+	refNs := sim.ExecutionTimeNs(ref, 10)
+	if refNs <= 0 {
+		return nil, fmt.Errorf("experiments: empty reference run for %s", bench)
+	}
+	var labels []string
+	for _, ct := range Figure9CycleTimes {
+		labels = append(labels, fmt.Sprintf("%g", ct))
+	}
+	var series []plot.Series
+	for depth := 1; depth <= 3; depth++ {
+		pts := make([]float64, len(Figure9CycleTimes))
+		for i, ct := range Figure9CycleTimes {
+			bytes, ok := fo4.MaxCacheBytesFor(fo4.SinglePorted, depth, ct)
+			if !ok {
+				pts[i] = math.NaN()
+				continue
+			}
+			r, err := o.run(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct))
+			if err != nil {
+				return nil, err
+			}
+			pts[i] = sim.ExecutionTimeNs(r, ct) / refNs
+		}
+		series = append(series, plot.Series{Name: fmt.Sprintf("%d-cycle cache (largest that fits)", depth), Points: pts})
+	}
+	return &plot.LineChart{
+		Title:   fmt.Sprintf("Figure 9 (%s): normalized execution time vs cycle time (FO4)", bench),
+		YLabel:  "execution time (normalized to 10 FO4, 32K 3~)",
+		XLabels: labels,
+		Series:  series,
+	}, nil
+}

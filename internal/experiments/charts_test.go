@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Chart(t *testing.T) {
+	out := Figure1Chart().Render()
+	for _, want := range []string{"Figure 1", "single-ported", "8-way banked", "4K", "1M"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+}
+
+func TestFigure3Chart(t *testing.T) {
+	o := quick("gcc", "database")
+	c, err := Figure3Chart(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "gcc") || !strings.Contains(out, "database") {
+		t.Errorf("chart missing series:\n%s", out)
+	}
+	if len(c.Series) != 2 || len(c.Series[0].Points) != 9 {
+		t.Errorf("series shape wrong: %d series", len(c.Series))
+	}
+}
+
+func TestFigure8Chart(t *testing.T) {
+	c, err := Figure8Chart(quick(), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 6 {
+		t.Fatalf("series = %d, want 6 organizations", len(c.Series))
+	}
+	out := c.Render()
+	if !strings.Contains(out, "duplicate 1~") || !strings.Contains(out, "banked 3~") {
+		t.Errorf("chart missing organizations:\n%s", out)
+	}
+	if _, err := Figure8Chart(quick(), "nonesuch"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}
+
+func TestFigure9Chart(t *testing.T) {
+	c, err := Figure9Chart(quick(), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 3 {
+		t.Fatalf("series = %d, want 3 depths", len(c.Series))
+	}
+	if len(c.Series[0].Points) != len(Figure9CycleTimes) {
+		t.Error("points must align with cycle-time axis")
+	}
+	// Depth 1 must have NaN gaps below 24 FO4 (infeasible), depth 3 none.
+	d1 := c.Series[0].Points
+	if d1[0] == d1[0] { // NaN != NaN
+		t.Error("depth 1 at 10 FO4 must be NaN (infeasible)")
+	}
+	d3 := c.Series[2].Points
+	for i, v := range d3 {
+		if v != v {
+			t.Errorf("depth 3 point %d must be feasible", i)
+		}
+	}
+	if _, err := Figure9Chart(quick(), "nonesuch"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+}

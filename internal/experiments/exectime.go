@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hbcache/internal/fo4"
+	"hbcache/internal/sim"
+	"hbcache/internal/stats"
+	"hbcache/internal/workload"
+)
+
+// Figure9CycleTimes are the processor cycle times (in FO4) the
+// execution-time study sweeps, spanning the paper's 10-30 FO4 x-axis.
+var Figure9CycleTimes = []float64{10, 12.5, 15, 17.5, 20, 22.5, 25, 27.5, 30}
+
+// Figure9 reproduces the execution-time study: for each processor cycle
+// time and cache pipeline depth (one to three cycles), the largest
+// duplicate cache that fits is simulated with a line buffer and with the
+// secondary cache (50 ns) and memory (300 ns) latencies rescaled to the
+// cycle time. Execution times are normalized, per benchmark, to the
+// paper's reference point: a 10 FO4 processor with a 32 KB three-cycle
+// pipelined cache.
+//
+// Rows report the representative benchmarks plus the average over the
+// requested set; cells show "time (size)" where size is the cache the
+// depth accommodates at that cycle time, or "-" when not even a 4 KB
+// cache fits the depth.
+func Figure9(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(workload.BenchmarkNames())
+	header := []string{"benchmark", "depth"}
+	for _, ct := range Figure9CycleTimes {
+		header = append(header, fmt.Sprintf("%g FO4", ct))
+	}
+	t := stats.NewTable(header...)
+
+	// Reference run per benchmark: 10 FO4, 32 KB, 3-cycle duplicate.
+	ref := map[string]float64{}
+	for _, bench := range benches {
+		r, err := o.run(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10))
+		if err != nil {
+			return nil, err
+		}
+		ref[bench] = sim.ExecutionTimeNs(r, 10)
+		if ref[bench] <= 0 {
+			return nil, fmt.Errorf("experiments: reference run for %s produced no instructions", bench)
+		}
+	}
+
+	type cell struct {
+		norm  float64
+		bytes int
+		valid bool
+	}
+	rows := map[string]map[int][]cell{} // bench -> depth -> per cycle time
+	for _, bench := range benches {
+		rows[bench] = map[int][]cell{}
+		for depth := 1; depth <= 3; depth++ {
+			cells := make([]cell, len(Figure9CycleTimes))
+			for i, ct := range Figure9CycleTimes {
+				bytes, ok := fo4.MaxCacheBytesFor(fo4.SinglePorted, depth, ct)
+				if !ok {
+					continue
+				}
+				r, err := o.run(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct))
+				if err != nil {
+					return nil, err
+				}
+				cells[i] = cell{norm: sim.ExecutionTimeNs(r, ct) / ref[bench], bytes: bytes, valid: true}
+			}
+			rows[bench][depth] = cells
+		}
+	}
+
+	format := func(c cell) string {
+		if !c.valid {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f (%s)", c.norm, fo4.SizeLabel(c.bytes))
+	}
+	for _, bench := range benches {
+		if !isRepresentative(bench) && len(benches) > 3 {
+			continue
+		}
+		for depth := 1; depth <= 3; depth++ {
+			row := []string{bench, hitTimeLabel(depth)}
+			for _, c := range rows[bench][depth] {
+				row = append(row, format(c))
+			}
+			t.AddRow(row...)
+		}
+	}
+	if len(benches) > 1 {
+		for depth := 1; depth <= 3; depth++ {
+			row := []string{"average", hitTimeLabel(depth)}
+			for i := range Figure9CycleTimes {
+				var xs []float64
+				valid := true
+				var bytes int
+				for _, bench := range benches {
+					c := rows[bench][depth][i]
+					if !c.valid {
+						valid = false
+						break
+					}
+					xs = append(xs, c.norm)
+					bytes = c.bytes
+				}
+				if !valid {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, format(cell{norm: stats.GeoMean(xs), bytes: bytes, valid: true}))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// BestConfiguration scans the Figure 9 design space for one benchmark
+// set and reports, per cycle time, the pipeline depth and cache size
+// with the smallest average normalized execution time — the paper's
+// bottom-line guidance (64 KB single-cycle at 29 FO4; pipelined below
+// ~25 FO4; three cycles at 10 FO4).
+func BestConfiguration(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(workload.BenchmarkNames())
+	t := stats.NewTable("cycle time (FO4)", "best depth", "best size", "norm exec time")
+	ref := map[string]float64{}
+	for _, bench := range benches {
+		r, err := o.run(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10))
+		if err != nil {
+			return nil, err
+		}
+		ref[bench] = sim.ExecutionTimeNs(r, 10)
+	}
+	for _, ct := range Figure9CycleTimes {
+		bestTime := 0.0
+		bestDepth, bestBytes := 0, 0
+		for depth := 1; depth <= 3; depth++ {
+			bytes, ok := fo4.MaxCacheBytesFor(fo4.SinglePorted, depth, ct)
+			if !ok {
+				continue
+			}
+			var xs []float64
+			for _, bench := range benches {
+				r, err := o.run(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct))
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, sim.ExecutionTimeNs(r, ct)/ref[bench])
+			}
+			mean := stats.GeoMean(xs)
+			if bestDepth == 0 || mean < bestTime {
+				bestTime, bestDepth, bestBytes = mean, depth, bytes
+			}
+		}
+		if bestDepth == 0 {
+			t.AddRow(fmt.Sprintf("%g", ct), "-", "-", "-")
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%g", ct), hitTimeLabel(bestDepth), fo4.SizeLabel(bestBytes), fmt.Sprintf("%.2f", bestTime))
+	}
+	return t, nil
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hbcache/internal/fo4"
+	"hbcache/internal/mem"
+	"hbcache/internal/stats"
+	"hbcache/internal/workload"
+)
+
+// fig45CacheBytes is the fixed primary cache size of the Figure 4-6 IPC
+// studies.
+const fig45CacheBytes = 32 << 10
+
+// ipcSweep runs benchmark x port-config x hit-time and tabulates IPC.
+func ipcSweep(o Options, benches []string, ports []mem.PortConfig, hits []int, lineBuffer bool) (*stats.Table, error) {
+	header := []string{"benchmark", "organization"}
+	for _, h := range hits {
+		header = append(header, "IPC "+hitTimeLabel(h))
+	}
+	t := stats.NewTable(header...)
+	for _, bench := range benches {
+		for _, pc := range ports {
+			row := []string{bench, pc.String()}
+			for _, h := range hits {
+				r, err := o.run(bench, mem.DefaultSRAMSystem(fig45CacheBytes, h, pc, lineBuffer))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", r.IPC))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure4 reproduces the ideal multi-ported multi-cycle study: one to
+// four ideal cache ports, one to three cycle hit times, 32 KB cache,
+// fixed processor cycle time, no line buffer.
+func Figure4(o Options) (*stats.Table, error) {
+	var ports []mem.PortConfig
+	for n := 1; n <= 4; n++ {
+		ports = append(ports, mem.PortConfig{Kind: mem.IdealPorts, Count: n})
+	}
+	return ipcSweep(o, o.benchmarks(representatives), ports, []int{1, 2, 3}, false)
+}
+
+// Figure5 reproduces the banked-cache study: 1, 2, 4, 8, and 128
+// external banks, one to three cycle hit times, 32 KB cache, no line
+// buffer.
+func Figure5(o Options) (*stats.Table, error) {
+	var ports []mem.PortConfig
+	for _, n := range []int{1, 2, 4, 8, 128} {
+		ports = append(ports, mem.PortConfig{Kind: mem.BankedPorts, Count: n})
+	}
+	return ipcSweep(o, o.benchmarks(representatives), ports, []int{1, 2, 3}, false)
+}
+
+// Figure6 reproduces the line-buffer study: 32 KB eight-way banked and
+// duplicate caches, one to three cycle hit times, with and without a
+// line buffer.
+func Figure6(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(representatives)
+	hits := []int{1, 2, 3}
+	header := []string{"benchmark", "organization"}
+	for _, h := range hits {
+		header = append(header, "IPC "+hitTimeLabel(h))
+	}
+	t := stats.NewTable(header...)
+	for _, bench := range benches {
+		for _, pc := range []mem.PortConfig{banked8, duplicatePorts} {
+			for _, lb := range []bool{false, true} {
+				label := pc.String()
+				if lb {
+					label += " +LB"
+				}
+				row := []string{bench, label}
+				for _, h := range hits {
+					r, err := o.run(bench, mem.DefaultSRAMSystem(fig45CacheBytes, h, pc, lb))
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, fmt.Sprintf("%.3f", r.IPC))
+				}
+				t.AddRow(row...)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Figure7 reproduces the DRAM-cache study: a 4 MB on-chip DRAM cache
+// (hit time swept six to eight cycles) behind a 16 KB two-way
+// row-buffer cache with 512-byte lines, eight-way banked, no off-chip
+// secondary cache, with and without a line buffer.
+func Figure7(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(representatives)
+	hits := []int{6, 7, 8}
+	header := []string{"benchmark", "organization"}
+	for _, h := range hits {
+		header = append(header, fmt.Sprintf("IPC DRAM %s", hitTimeLabel(h)))
+	}
+	t := stats.NewTable(header...)
+	for _, bench := range benches {
+		for _, lb := range []bool{false, true} {
+			label := "row-buffer cache"
+			if lb {
+				label += " +LB"
+			}
+			row := []string{bench, label}
+			for _, h := range hits {
+				r, err := o.run(bench, mem.DefaultDRAMSystem(h, lb))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.3f", r.IPC))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure8 sweeps cache size from 4 KB to 1 MB for duplicate and
+// eight-way banked caches of one to three cycle hit times, all with a
+// line buffer, and appends the 6-cycle DRAM cache point. Rows cover the
+// three representative benchmarks plus the average over the requested
+// benchmark set (the paper averages all nine).
+func Figure8(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(workload.BenchmarkNames())
+	sizes := fo4.PowerOfTwoSizes()
+	header := []string{"benchmark", "organization"}
+	for _, s := range sizes {
+		header = append(header, fo4.SizeLabel(s))
+	}
+	header = append(header, "4M DRAM 6~")
+	t := stats.NewTable(header...)
+
+	orgs := []struct {
+		label string
+		ports mem.PortConfig
+		hit   int
+	}{
+		{"duplicate 1~", duplicatePorts, 1},
+		{"duplicate 2~", duplicatePorts, 2},
+		{"duplicate 3~", duplicatePorts, 3},
+		{"8-way banked 1~", banked8, 1},
+		{"8-way banked 2~", banked8, 2},
+		{"8-way banked 3~", banked8, 3},
+	}
+
+	// Collect IPCs per benchmark, then emit representative rows and the
+	// average.
+	perOrg := map[string]map[string][]float64{} // org -> bench -> IPC per size (+DRAM last)
+	for _, org := range orgs {
+		perOrg[org.label] = map[string][]float64{}
+		for _, bench := range benches {
+			var ipcs []float64
+			for _, s := range sizes {
+				r, err := o.run(bench, mem.DefaultSRAMSystem(s, org.hit, org.ports, true))
+				if err != nil {
+					return nil, err
+				}
+				ipcs = append(ipcs, r.IPC)
+			}
+			perOrg[org.label][bench] = ipcs
+		}
+	}
+	dram := map[string]float64{}
+	for _, bench := range benches {
+		r, err := o.run(bench, mem.DefaultDRAMSystem(6, true))
+		if err != nil {
+			return nil, err
+		}
+		dram[bench] = r.IPC
+	}
+
+	emit := func(rowBench string, pick func(org string, sizeIdx int) float64, pickDRAM func() float64) {
+		for _, org := range orgs {
+			row := []string{rowBench, org.label}
+			for i := range sizes {
+				row = append(row, fmt.Sprintf("%.3f", pick(org.label, i)))
+			}
+			if org.label == "duplicate 1~" {
+				row = append(row, fmt.Sprintf("%.3f", pickDRAM()))
+			} else {
+				row = append(row, "-")
+			}
+			t.AddRow(row...)
+		}
+	}
+	for _, bench := range benches {
+		if !isRepresentative(bench) && len(benches) > 3 {
+			continue
+		}
+		b := bench
+		emit(b,
+			func(org string, i int) float64 { return perOrg[org][b][i] },
+			func() float64 { return dram[b] })
+	}
+	if len(benches) > 1 {
+		emit("average",
+			func(org string, i int) float64 {
+				var xs []float64
+				for _, b := range benches {
+					xs = append(xs, perOrg[org][b][i])
+				}
+				return stats.Mean(xs)
+			},
+			func() float64 {
+				var xs []float64
+				for _, b := range benches {
+					xs = append(xs, dram[b])
+				}
+				return stats.Mean(xs)
+			})
+	}
+	return t, nil
+}
+
+func isRepresentative(bench string) bool {
+	for _, r := range representatives {
+		if r == bench {
+			return true
+		}
+	}
+	return false
+}
+
+// PortScaling reproduces the section 2.1 claim: average processor
+// performance gain from adding ideal cache ports to a 32 KB cache
+// (+25% for the second port, +4% for the third, +1% for the fourth).
+func PortScaling(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(workload.BenchmarkNames())
+	t := stats.NewTable("ports", "mean IPC", "gain over previous", "paper gain")
+	paper := map[int]string{1: "-", 2: "+25%", 3: "+4%", 4: "+<1%"}
+	prev := 0.0
+	for n := 1; n <= 4; n++ {
+		var ipcs []float64
+		for _, bench := range benches {
+			r, err := o.run(bench, mem.DefaultSRAMSystem(fig45CacheBytes, 1, mem.PortConfig{Kind: mem.IdealPorts, Count: n}, false))
+			if err != nil {
+				return nil, err
+			}
+			ipcs = append(ipcs, r.IPC)
+		}
+		mean := stats.Mean(ipcs)
+		gain := "-"
+		if prev > 0 {
+			gain = fmt.Sprintf("%+.1f%%", 100*(mean/prev-1))
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.3f", mean), gain, paper[n])
+		prev = mean
+	}
+	return t, nil
+}

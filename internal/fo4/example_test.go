@@ -1,0 +1,39 @@
+package fo4_test
+
+import (
+	"fmt"
+
+	"hbcache/internal/fo4"
+)
+
+// ExampleAccessTime reproduces the cycle-time arithmetic of the paper's
+// section 2.2: at the 25 FO4 baseline clock, an 8 KB cache is a
+// single-cycle cache, a 512 KB cache needs 1.67 cycles, and a 1 MB
+// cache needs 2.20 cycles.
+func ExampleAccessTime() {
+	for _, kb := range []int{8, 512, 1024} {
+		t := fo4.MustAccessTime(fo4.SinglePorted, kb<<10)
+		fmt.Printf("%s: %.2f FO4 = %.2f cycles at 25 FO4\n",
+			fo4.SizeLabel(kb<<10), t, t/fo4.BaselineCycleFO4)
+	}
+	// Output:
+	// 8K: 25.00 FO4 = 1.00 cycles at 25 FO4
+	// 512K: 41.75 FO4 = 1.67 cycles at 25 FO4
+	// 1M: 55.00 FO4 = 2.20 cycles at 25 FO4
+}
+
+// ExampleMaxCacheBytesFor answers the paper's sizing question: what is
+// the largest single-cycle duplicate cache a 29 FO4 processor can build?
+func ExampleMaxCacheBytesFor() {
+	b, ok := fo4.MaxCacheBytesFor(fo4.SinglePorted, 1, 29)
+	fmt.Println(fo4.SizeLabel(b), ok)
+	// Output: 64K true
+}
+
+// ExampleCyclesForNs shows how fixed physical latencies scale with the
+// processor clock: the 50 ns secondary cache is 10 cycles at 200 MHz
+// (25 FO4) but 25 cycles for a 10 FO4 processor.
+func ExampleCyclesForNs() {
+	fmt.Println(fo4.CyclesForNs(50, 25), fo4.CyclesForNs(50, 10))
+	// Output: 10 25
+}

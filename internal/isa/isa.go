@@ -1,0 +1,167 @@
+// Package isa defines the dynamic instruction representation consumed by
+// the cycle-level processor model, together with an R10000-like
+// functional latency table.
+//
+// The simulator is trace driven: workload generators emit a stream of
+// Inst records that carry everything the timing model needs — operation
+// class, register dependences, memory address and size, branch outcome —
+// and the CPU model charges latencies and enforces dependences without
+// interpreting semantics.
+package isa
+
+import "fmt"
+
+// Op is a dynamic operation class. The paper's processor places no
+// restriction on the mix of classes issued per cycle, so classes exist
+// only to select execution latencies and to mark memory and control
+// operations.
+type Op uint8
+
+const (
+	// Nop models a dynamic instruction with no register or memory
+	// effect (e.g. an annulled delay slot).
+	Nop Op = iota
+	// IntALU covers single-cycle integer operations (add, logical,
+	// shift, compare, address arithmetic).
+	IntALU
+	// IntMul is integer multiply.
+	IntMul
+	// IntDiv is integer divide.
+	IntDiv
+	// FPAdd covers floating-point add/subtract/compare/convert.
+	FPAdd
+	// FPMul is floating-point multiply.
+	FPMul
+	// FPDiv is floating-point divide.
+	FPDiv
+	// Load is a memory read. It occupies a load/store queue entry and a
+	// data-cache port; its latency is one cycle of address calculation
+	// plus the cache access.
+	Load
+	// Store is a memory write. Stores are buffered at retirement and
+	// written to the cache only when ports are otherwise idle, per the
+	// paper's assumption that stores never degrade performance.
+	Store
+	// Branch is a conditional branch resolved at execute.
+	Branch
+	// Jump is an unconditional control transfer (always predicted
+	// correctly by the front end).
+	Jump
+	numOps
+)
+
+// NumOps is the number of operation classes, for sizing per-op tables.
+const NumOps = int(numOps)
+
+var opNames = [NumOps]string{
+	"nop", "int", "imul", "idiv", "fpadd", "fpmul", "fpdiv", "load", "store", "branch", "jump",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op reads or writes memory.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// IsControl reports whether the op redirects the front end.
+func (o Op) IsControl() bool { return o == Branch || o == Jump }
+
+// IsFP reports whether the op executes in the floating point unit.
+func (o Op) IsFP() bool { return o == FPAdd || o == FPMul || o == FPDiv }
+
+// Latency returns the execution latency in cycles of the op class,
+// following the MIPS R10000 pipelines the paper configures MXS with:
+// single-cycle integer ALU, 5/35-cycle integer multiply/divide, 2-cycle
+// FP add and multiply, 12-cycle FP divide. Loads return the 1-cycle
+// address calculation only; the cache access is charged by the memory
+// system. Stores compute their address in one cycle.
+func (o Op) Latency() int {
+	switch o {
+	case Nop:
+		return 1
+	case IntALU:
+		return 1
+	case IntMul:
+		return 5
+	case IntDiv:
+		return 35
+	case FPAdd:
+		return 2
+	case FPMul:
+		return 2
+	case FPDiv:
+		return 12
+	case Load:
+		return 1 // address calculation; memory latency added by the cache model
+	case Store:
+		return 1 // address calculation; data written post-retirement
+	case Branch:
+		return 1
+	case Jump:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// NoReg marks an unused register operand.
+const NoReg int16 = -1
+
+// NumLogicalRegs is the size of the logical register space used by the
+// generators (integer and FP spaces are folded together; the timing
+// model only needs dependence edges, not values).
+const NumLogicalRegs = 64
+
+// Inst is one dynamic instruction.
+type Inst struct {
+	// PC is the (synthetic) program counter, used by the branch
+	// predictor tables and for instruction-stream statistics.
+	PC uint64
+	// Op is the operation class.
+	Op Op
+	// Dst is the destination logical register, or NoReg.
+	Dst int16
+	// Src1, Src2 are source logical registers, or NoReg.
+	Src1, Src2 int16
+	// Addr is the effective address for loads and stores.
+	Addr uint64
+	// Size is the access size in bytes for loads and stores.
+	Size uint8
+	// Taken is the branch outcome for Branch ops.
+	Taken bool
+	// Kernel marks instructions executed in kernel mode; kernel
+	// references address a separate region of the synthetic address
+	// space and are reported in the Table 2 breakdown.
+	Kernel bool
+}
+
+// Reader produces a dynamic instruction stream. Implementations must
+// return io-style semantics: (inst, true) until the stream is exhausted,
+// then (zero, false) forever.
+type Reader interface {
+	Next() (Inst, bool)
+}
+
+// SliceReader adapts a slice of instructions into a Reader; it is
+// convenient in tests.
+type SliceReader struct {
+	insts []Inst
+	pos   int
+}
+
+// NewSliceReader returns a Reader over the given instructions.
+func NewSliceReader(insts []Inst) *SliceReader { return &SliceReader{insts: insts} }
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Inst, bool) {
+	if r.pos >= len(r.insts) {
+		return Inst{}, false
+	}
+	i := r.insts[r.pos]
+	r.pos++
+	return i, true
+}

@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpClassification(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("Load/Store must be memory ops")
+	}
+	if IntALU.IsMem() || Branch.IsMem() {
+		t.Error("IntALU/Branch are not memory ops")
+	}
+	if !Branch.IsControl() || !Jump.IsControl() {
+		t.Error("Branch/Jump must be control ops")
+	}
+	if Load.IsControl() {
+		t.Error("Load is not a control op")
+	}
+	for _, o := range []Op{FPAdd, FPMul, FPDiv} {
+		if !o.IsFP() {
+			t.Errorf("%v must be FP", o)
+		}
+	}
+	if IntMul.IsFP() {
+		t.Error("IntMul is not FP")
+	}
+}
+
+func TestLatenciesR10000(t *testing.T) {
+	cases := map[Op]int{
+		IntALU: 1, IntMul: 5, IntDiv: 35,
+		FPAdd: 2, FPMul: 2, FPDiv: 12,
+		Load: 1, Store: 1, Branch: 1, Jump: 1, Nop: 1,
+	}
+	for op, want := range cases {
+		if got := op.Latency(); got != want {
+			t.Errorf("%v latency = %d, want %d", op, got, want)
+		}
+	}
+	// Unknown ops default to a single cycle rather than zero, which
+	// would wedge the pipeline.
+	if got := Op(200).Latency(); got != 1 {
+		t.Errorf("unknown op latency = %d, want 1", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Load.String() != "load" || FPMul.String() != "fpmul" {
+		t.Errorf("unexpected names: %v %v", Load, FPMul)
+	}
+	if !strings.HasPrefix(Op(99).String(), "Op(") {
+		t.Errorf("out-of-range op name: %v", Op(99))
+	}
+	// Every defined op has a distinct printable name.
+	seen := map[string]bool{}
+	for i := 0; i < NumOps; i++ {
+		s := Op(i).String()
+		if seen[s] {
+			t.Errorf("duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	insts := []Inst{
+		{Op: IntALU, Dst: 1},
+		{Op: Load, Dst: 2, Addr: 0x1000, Size: 8},
+		{Op: Branch, Taken: true},
+	}
+	r := NewSliceReader(insts)
+	for i := range insts {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("Next() exhausted at %d", i)
+		}
+		if got != insts[i] {
+			t.Errorf("inst %d = %+v, want %+v", i, got, insts[i])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := r.Next(); ok {
+			t.Fatal("Next() should stay exhausted")
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package mem
+
+import "fmt"
+
+// Array is a set-associative cache tag array with true-LRU replacement.
+// It tracks presence only (the simulator never models data values), so a
+// single Array serves every cache level in the hierarchy, including the
+// fully-associative line buffer (one set, 32 ways).
+type Array struct {
+	sets      int
+	assoc     int
+	lineBytes int
+	// ways[s] holds the tags of set s ordered most- to least-recently
+	// used; the slice length is the current fill of the set (<= assoc).
+	ways [][]uint64
+}
+
+// NewArray returns an array of the given total capacity, line size and
+// associativity. Capacity must be a multiple of lineBytes*assoc and the
+// set count must be a power of two (as in every design the paper
+// considers).
+func NewArray(totalBytes, lineBytes, assoc int) (*Array, error) {
+	if totalBytes <= 0 || lineBytes <= 0 || assoc <= 0 {
+		return nil, fmt.Errorf("mem: non-positive array geometry %d/%d/%d", totalBytes, lineBytes, assoc)
+	}
+	if !isPow2(lineBytes) {
+		return nil, fmt.Errorf("mem: line size %d not a power of two", lineBytes)
+	}
+	lines := totalBytes / lineBytes
+	if lines*lineBytes != totalBytes || lines%assoc != 0 {
+		return nil, fmt.Errorf("mem: capacity %d not divisible into %d-byte %d-way sets", totalBytes, lineBytes, assoc)
+	}
+	sets := lines / assoc
+	if !isPow2(sets) {
+		return nil, fmt.Errorf("mem: set count %d not a power of two", sets)
+	}
+	a := &Array{sets: sets, assoc: assoc, lineBytes: lineBytes, ways: make([][]uint64, sets)}
+	for i := range a.ways {
+		a.ways[i] = make([]uint64, 0, assoc)
+	}
+	return a, nil
+}
+
+// MustNewArray is NewArray panicking on error, for geometry known valid.
+func MustNewArray(totalBytes, lineBytes, assoc int) *Array {
+	a, err := NewArray(totalBytes, lineBytes, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// Assoc returns the associativity.
+func (a *Array) Assoc() int { return a.assoc }
+
+// LineBytes returns the line size.
+func (a *Array) LineBytes() int { return a.lineBytes }
+
+func (a *Array) index(addr uint64) (set int, tag uint64) {
+	line := lineIndex(addr, a.lineBytes)
+	return int(line % uint64(a.sets)), line / uint64(a.sets)
+}
+
+// Lookup reports whether addr's line is present and, on a hit, promotes
+// it to most recently used.
+func (a *Array) Lookup(addr uint64) bool {
+	set, tag := a.index(addr)
+	w := a.ways[set]
+	for i, t := range w {
+		if t == tag {
+			copy(w[1:i+1], w[:i])
+			w[0] = tag
+			return true
+		}
+	}
+	return false
+}
+
+// Probe reports presence without updating recency.
+func (a *Array) Probe(addr uint64) bool {
+	set, tag := a.index(addr)
+	for _, t := range a.ways[set] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts addr's line as most recently used, evicting the LRU line
+// of a full set. It returns the evicted line's base address and whether
+// an eviction happened. Filling a line that is already present just
+// promotes it.
+func (a *Array) Fill(addr uint64) (evicted uint64, didEvict bool) {
+	if a.Lookup(addr) {
+		return 0, false
+	}
+	set, tag := a.index(addr)
+	w := a.ways[set]
+	if len(w) < a.assoc {
+		w = append(w, 0)
+	} else {
+		victim := w[len(w)-1]
+		evicted = (victim*uint64(a.sets) + uint64(set)) * uint64(a.lineBytes)
+		didEvict = true
+	}
+	copy(w[1:], w)
+	w[0] = tag
+	a.ways[set] = w
+	return evicted, didEvict
+}
+
+// Invalidate removes addr's line if present, reporting whether it was.
+func (a *Array) Invalidate(addr uint64) bool {
+	set, tag := a.index(addr)
+	w := a.ways[set]
+	for i, t := range w {
+		if t == tag {
+			copy(w[i:], w[i+1:])
+			a.ways[set] = w[:len(w)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines.
+func (a *Array) Occupancy() int {
+	n := 0
+	for _, w := range a.ways {
+		n += len(w)
+	}
+	return n
+}
+
+// Reset invalidates every line.
+func (a *Array) Reset() {
+	for i := range a.ways {
+		a.ways[i] = a.ways[i][:0]
+	}
+}

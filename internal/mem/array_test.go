@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewArrayValidation(t *testing.T) {
+	bad := []struct{ bytes, line, assoc int }{
+		{0, 32, 2},
+		{1024, 0, 2},
+		{1024, 32, 0},
+		{1024, 33, 2},    // line not power of two
+		{96 * 32, 32, 2}, // 48 sets: not a power of two
+		{1000, 32, 2},    // capacity not line multiple
+	}
+	for _, c := range bad {
+		if _, err := NewArray(c.bytes, c.line, c.assoc); err == nil {
+			t.Errorf("NewArray(%d,%d,%d) should fail", c.bytes, c.line, c.assoc)
+		}
+	}
+	a, err := NewArray(32*1024, 32, 2)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	if a.Sets() != 512 || a.Assoc() != 2 || a.LineBytes() != 32 {
+		t.Errorf("geometry = %d sets, %d ways, %dB lines", a.Sets(), a.Assoc(), a.LineBytes())
+	}
+}
+
+func TestArrayHitMiss(t *testing.T) {
+	a := MustNewArray(1024, 32, 2) // 16 sets, 2 ways
+	if a.Lookup(0x100) {
+		t.Fatal("empty array must miss")
+	}
+	a.Fill(0x100)
+	if !a.Lookup(0x100) {
+		t.Fatal("filled line must hit")
+	}
+	// Any address within the same 32-byte line hits.
+	if !a.Lookup(0x11f) {
+		t.Error("same-line address must hit")
+	}
+	if a.Lookup(0x120) {
+		t.Error("next line must miss")
+	}
+}
+
+func TestArrayLRUEviction(t *testing.T) {
+	a := MustNewArray(128, 32, 2) // 2 sets, 2 ways; set = line % 2
+	// Three lines mapping to set 0: lines 0, 2, 4 -> addrs 0, 0x40, 0x80.
+	a.Fill(0x00)
+	a.Fill(0x40)
+	a.Lookup(0x00) // make line 0 MRU; 0x40 becomes LRU
+	ev, did := a.Fill(0x80)
+	if !did || ev != 0x40 {
+		t.Errorf("Fill evicted %#x (%v), want 0x40", ev, did)
+	}
+	if a.Probe(0x40) {
+		t.Error("evicted line still present")
+	}
+	if !a.Probe(0x00) || !a.Probe(0x80) {
+		t.Error("resident lines missing")
+	}
+}
+
+func TestArrayProbeDoesNotPromote(t *testing.T) {
+	a := MustNewArray(64, 32, 2) // 1 set, 2 ways
+	a.Fill(0x00)
+	a.Fill(0x20)  // MRU = 0x20, LRU = 0x00
+	a.Probe(0x00) // must NOT promote
+	ev, did := a.Fill(0x40)
+	if !did || ev != 0x00 {
+		t.Errorf("probe promoted LRU: evicted %#x, want 0x00", ev)
+	}
+}
+
+func TestArrayFillExistingPromotes(t *testing.T) {
+	a := MustNewArray(64, 32, 2)
+	a.Fill(0x00)
+	a.Fill(0x20)
+	if _, did := a.Fill(0x00); did {
+		t.Error("re-filling a resident line must not evict")
+	}
+	// 0x00 is now MRU, so filling a third line evicts 0x20.
+	if ev, did := a.Fill(0x40); !did || ev != 0x20 {
+		t.Errorf("evicted %#x (%v), want 0x20", ev, did)
+	}
+}
+
+func TestArrayInvalidate(t *testing.T) {
+	a := MustNewArray(1024, 32, 2)
+	a.Fill(0x100)
+	if !a.Invalidate(0x100) {
+		t.Error("Invalidate must report the line was present")
+	}
+	if a.Invalidate(0x100) {
+		t.Error("second Invalidate must report absence")
+	}
+	if a.Probe(0x100) {
+		t.Error("invalidated line still present")
+	}
+}
+
+func TestArrayOccupancyAndReset(t *testing.T) {
+	a := MustNewArray(1024, 32, 2)
+	for i := 0; i < 10; i++ {
+		a.Fill(uint64(i * 32))
+	}
+	if a.Occupancy() != 10 {
+		t.Errorf("occupancy = %d, want 10", a.Occupancy())
+	}
+	a.Reset()
+	if a.Occupancy() != 0 {
+		t.Errorf("occupancy after reset = %d, want 0", a.Occupancy())
+	}
+}
+
+func TestArrayFullyAssociative(t *testing.T) {
+	// One set, 32 ways: the line buffer geometry.
+	a := MustNewArray(32*32, 32, 32)
+	for i := 0; i < 32; i++ {
+		a.Fill(uint64(i) * 32)
+	}
+	for i := 0; i < 32; i++ {
+		if !a.Probe(uint64(i) * 32) {
+			t.Fatalf("line %d missing from fully-associative array", i)
+		}
+	}
+	// Line 0 is LRU; a new fill evicts it.
+	if ev, did := a.Fill(32 * 32); !did || ev != 0 {
+		t.Errorf("evicted %#x (%v), want 0x0", ev, did)
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a just-filled line
+// always probes present.
+func TestArrayFillInvariantProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		a := MustNewArray(512, 32, 2) // 8 sets, 2 ways, 16 lines
+		for _, x := range addrs {
+			addr := uint64(x)
+			a.Fill(addr)
+			if !a.Probe(addr) {
+				return false
+			}
+			if a.Occupancy() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: working sets no larger than capacity never evict once warm
+// (LRU with a single set).
+func TestArrayLRUNoThrashProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := MustNewArray(256, 32, 8) // 1 set, 8 ways
+		// 8 distinct lines cycled repeatedly: after the first pass,
+		// every access must hit.
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < 8; i++ {
+				addr := uint64((int(seed)+i)%8) * 32
+				hit := a.Lookup(addr)
+				if pass > 0 && !hit {
+					return false
+				}
+				if !hit {
+					a.Fill(addr)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bus models a bandwidth-limited transfer path (processor chip to the
+// off-chip secondary cache, secondary cache to main memory). A transfer
+// of N bytes occupies the bus for ceil(N / bytesPerCycle) cycles;
+// transfers queue in request order. The paper's peak bandwidths are
+// 2.5 GByte/s between the processor and the secondary cache and
+// 1.6 GByte/s between the secondary cache and memory; the per-cycle
+// budget therefore scales with the processor cycle time, which is how
+// Figure 9's faster processors see relatively slower buses.
+type Bus struct {
+	bytesPerCycle float64
+	freeAt        Cycle
+
+	transfers Counter
+	busyCycle Counter
+	waitCycle Counter
+}
+
+// Counter is a simple uint64 event count local to the mem package's hot
+// paths (avoids importing stats into the inner loop).
+type Counter uint64
+
+// Inc adds one.
+func (c *Counter) Inc() { *c++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { *c += Counter(d) }
+
+// Value reads the count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// NewBus returns a bus that moves the given peak gigabytes per second at
+// the given processor cycle period in nanoseconds.
+func NewBus(gbPerSec, cycleNs float64) (*Bus, error) {
+	if gbPerSec <= 0 || cycleNs <= 0 {
+		return nil, fmt.Errorf("mem: bus needs positive bandwidth and cycle time, got %g GB/s at %g ns", gbPerSec, cycleNs)
+	}
+	return &Bus{bytesPerCycle: gbPerSec * cycleNs}, nil
+}
+
+// BytesPerCycle returns the per-cycle transfer budget.
+func (b *Bus) BytesPerCycle() float64 { return b.bytesPerCycle }
+
+// Reserve schedules a transfer of bytes that is ready to start at cycle
+// ready, and returns the cycle at which the last byte arrives. Requests
+// must be issued with non-decreasing ready cycles within a simulation.
+func (b *Bus) Reserve(ready Cycle, bytes int) Cycle {
+	start := maxCycle(ready, b.freeAt)
+	if start > ready {
+		b.waitCycle.Add(uint64(start - ready))
+	}
+	dur := Cycle(math.Ceil(float64(bytes) / b.bytesPerCycle))
+	if dur == 0 {
+		dur = 1
+	}
+	b.freeAt = start + dur
+	b.transfers.Inc()
+	b.busyCycle.Add(uint64(dur))
+	return b.freeAt
+}
+
+// Transfers returns the number of reservations made.
+func (b *Bus) Transfers() uint64 { return b.transfers.Value() }
+
+// BusyCycles returns total cycles the bus spent transferring.
+func (b *Bus) BusyCycles() uint64 { return b.busyCycle.Value() }
+
+// WaitCycles returns total cycles requests waited for the bus.
+func (b *Bus) WaitCycles() uint64 { return b.waitCycle.Value() }

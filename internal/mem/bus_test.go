@@ -1,0 +1,79 @@
+package mem
+
+import "testing"
+
+func TestNewBusValidation(t *testing.T) {
+	if _, err := NewBus(0, 5); err == nil {
+		t.Error("zero bandwidth must fail")
+	}
+	if _, err := NewBus(2.5, 0); err == nil {
+		t.Error("zero cycle time must fail")
+	}
+}
+
+func TestBusBandwidthAt200MHz(t *testing.T) {
+	// 2.5 GB/s at a 5 ns cycle = 12.5 bytes/cycle: a 32-byte line takes
+	// ceil(32/12.5) = 3 cycles.
+	b, err := NewBus(2.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.BytesPerCycle(); got != 12.5 {
+		t.Fatalf("BytesPerCycle = %v, want 12.5", got)
+	}
+	if done := b.Reserve(100, 32); done != 103 {
+		t.Errorf("32B transfer done at %d, want 103", done)
+	}
+	// 1.6 GB/s at 5 ns = 8 bytes/cycle: a 64-byte L2 line takes 8 cycles.
+	m, _ := NewBus(1.6, 5)
+	if done := m.Reserve(0, 64); done != 8 {
+		t.Errorf("64B transfer done at %d, want 8", done)
+	}
+}
+
+func TestBusContentionQueues(t *testing.T) {
+	b, _ := NewBus(2.5, 5) // 12.5 B/cycle; 32B = 3 cycles
+	first := b.Reserve(10, 32)
+	if first != 13 {
+		t.Fatalf("first transfer done at %d, want 13", first)
+	}
+	// A second transfer ready at cycle 11 must wait for the bus.
+	second := b.Reserve(11, 32)
+	if second != 16 {
+		t.Errorf("second transfer done at %d, want 16 (queued)", second)
+	}
+	if b.WaitCycles() != 2 {
+		t.Errorf("wait cycles = %d, want 2", b.WaitCycles())
+	}
+	if b.Transfers() != 2 || b.BusyCycles() != 6 {
+		t.Errorf("transfers/busy = %d/%d, want 2/6", b.Transfers(), b.BusyCycles())
+	}
+}
+
+func TestBusIdleGap(t *testing.T) {
+	b, _ := NewBus(1.6, 5)
+	b.Reserve(0, 64) // done at 8
+	// A transfer ready long after the bus freed starts immediately.
+	if done := b.Reserve(100, 64); done != 108 {
+		t.Errorf("post-gap transfer done at %d, want 108", done)
+	}
+	if b.WaitCycles() != 0 {
+		t.Errorf("wait cycles = %d, want 0", b.WaitCycles())
+	}
+}
+
+func TestBusMinimumOneCycle(t *testing.T) {
+	b, _ := NewBus(100, 5) // 500 B/cycle
+	if done := b.Reserve(0, 8); done != 1 {
+		t.Errorf("tiny transfer done at %d, want 1 (minimum one cycle)", done)
+	}
+}
+
+func TestBusScalesWithCycleTime(t *testing.T) {
+	// Figure 9: a 10 FO4 (2 ns) processor sees the same physical bus as
+	// fewer bytes per cycle.
+	fast, _ := NewBus(2.5, 2) // 5 B/cycle
+	if done := fast.Reserve(0, 32); done != 7 {
+		t.Errorf("32B at 2ns cycle done at %d, want 7", done)
+	}
+}

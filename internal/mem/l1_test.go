@@ -1,0 +1,251 @@
+package mem
+
+import "testing"
+
+func testL1(t *testing.T, cfg L1Config, next Level) *L1Cache {
+	t.Helper()
+	if next == nil {
+		next = &FixedLatency{Cycles: 20}
+	}
+	c, err := NewL1Cache(cfg, next)
+	if err != nil {
+		t.Fatalf("NewL1Cache: %v", err)
+	}
+	return c
+}
+
+func ideal2(bytes, hit int) L1Config {
+	return DefaultL1Config(bytes, hit, PortConfig{Kind: IdealPorts, Count: 2})
+}
+
+func TestL1Validation(t *testing.T) {
+	next := &FixedLatency{Cycles: 20}
+	if _, err := NewL1Cache(ideal2(32<<10, 0), next); err == nil {
+		t.Error("zero hit latency must fail")
+	}
+	cfg := ideal2(32<<10, 1)
+	cfg.MSHRs = 0
+	if _, err := NewL1Cache(cfg, next); err == nil {
+		t.Error("zero MSHRs must fail")
+	}
+	if _, err := NewL1Cache(ideal2(32<<10, 1), nil); err == nil {
+		t.Error("nil next level must fail")
+	}
+	cfg = ideal2(32<<10, 1)
+	cfg.Ports = PortConfig{Kind: BankedPorts, Count: 5}
+	if _, err := NewL1Cache(cfg, next); err == nil {
+		t.Error("bad port config must fail")
+	}
+}
+
+func TestL1HitTiming(t *testing.T) {
+	for _, hit := range []int{1, 2, 3} {
+		c := testL1(t, ideal2(32<<10, hit), nil)
+		// Warm the line with a miss, wait for the fill, then hit.
+		r, ok := c.TryLoad(0, 0x1000)
+		if !ok || !r.Miss {
+			t.Fatalf("hit=%d: first access must be a granted miss", hit)
+		}
+		now := r.Done + 1
+		r2, ok := c.TryLoad(now, 0x1000)
+		if !ok || r2.Miss {
+			t.Fatalf("hit=%d: warmed access must hit", hit)
+		}
+		if r2.Done != now+Cycle(hit) {
+			t.Errorf("hit=%d: done at %d, want %d", hit, r2.Done, now+Cycle(hit))
+		}
+	}
+}
+
+func TestL1MissTiming(t *testing.T) {
+	c := testL1(t, ideal2(32<<10, 2), &FixedLatency{Cycles: 20})
+	r, ok := c.TryLoad(100, 0x2000)
+	if !ok {
+		t.Fatal("miss must be granted")
+	}
+	// The miss is discovered after the 2-cycle lookup, then the next
+	// level takes 20 cycles: 100 + 2 + 20 = 122.
+	if r.Done != 122 {
+		t.Errorf("miss done at %d, want 122", r.Done)
+	}
+	if c.LoadMisses() != 1 {
+		t.Errorf("misses = %d, want 1", c.LoadMisses())
+	}
+}
+
+func TestL1SecondaryMissMerges(t *testing.T) {
+	next := &FixedLatency{Cycles: 20}
+	c := testL1(t, ideal2(32<<10, 1), next)
+	r1, _ := c.TryLoad(0, 0x3000)
+	// Second load to the same line while in flight merges, same done.
+	r2, ok := c.TryLoad(1, 0x3008)
+	if !ok || !r2.Miss {
+		t.Fatal("secondary miss must be granted and marked a miss")
+	}
+	if r2.Done != r1.Done {
+		t.Errorf("merged done %d != primary done %d", r2.Done, r1.Done)
+	}
+	if next.Accesses() != 1 {
+		t.Errorf("next level saw %d accesses, want 1 (merged)", next.Accesses())
+	}
+}
+
+func TestL1MSHRStructuralStall(t *testing.T) {
+	cfg := ideal2(32<<10, 1)
+	cfg.Ports = PortConfig{Kind: IdealPorts, Count: 8}
+	c := testL1(t, cfg, &FixedLatency{Cycles: 100})
+	// Four distinct-line misses fill the MSHRs.
+	for i := 0; i < 4; i++ {
+		if _, ok := c.TryLoad(0, uint64(i)*0x1000); !ok {
+			t.Fatalf("miss %d must be granted", i)
+		}
+	}
+	if _, ok := c.TryLoad(1, 0x9000); ok {
+		t.Error("fifth outstanding miss must stall on MSHRs")
+	}
+	if c.MSHRStalls() == 0 {
+		t.Error("MSHR stalls must be counted")
+	}
+	// After the fills complete, misses are accepted again.
+	if _, ok := c.TryLoad(200, 0x9000); !ok {
+		t.Error("miss after fills complete must be granted")
+	}
+}
+
+func TestL1PortExhaustionRetry(t *testing.T) {
+	c := testL1(t, ideal2(32<<10, 1), nil)
+	// Warm two lines.
+	c.TryLoad(0, 0x100)
+	c.TryLoad(0, 0x200)
+	now := Cycle(100)
+	if _, ok := c.TryLoad(now, 0x100); !ok {
+		t.Fatal("first hit refused")
+	}
+	if _, ok := c.TryLoad(now, 0x200); !ok {
+		t.Fatal("second hit refused")
+	}
+	if _, ok := c.TryLoad(now, 0x100); ok {
+		t.Error("third load on 2 ports must be refused")
+	}
+	if c.PortRetries() != 1 {
+		t.Errorf("retries = %d, want 1", c.PortRetries())
+	}
+}
+
+func TestL1LineBufferHitNoPort(t *testing.T) {
+	cfg := ideal2(32<<10, 3)
+	cfg.Ports = PortConfig{Kind: IdealPorts, Count: 1}
+	cfg.LineBuffer = true
+	c := testL1(t, cfg, nil)
+	r, _ := c.TryLoad(0, 0x100)
+	now := r.Done + 1
+	// The block is now in the line buffer; a port-free single-cycle hit.
+	r1, ok := c.TryLoad(now, 0x108)
+	if !ok || !r1.LineBufferHit {
+		t.Fatalf("expected line buffer hit, got %+v ok=%v", r1, ok)
+	}
+	if r1.Done != now+1 {
+		t.Errorf("LB hit done at %d, want %d", r1.Done, now+1)
+	}
+	// The single port is still free: another load can use it this cycle.
+	if _, ok := c.TryLoad(now, 0x2000); !ok {
+		t.Error("port must still be free after a line buffer hit")
+	}
+	if c.LineBufferHits() != 1 {
+		t.Errorf("LB hits = %d, want 1", c.LineBufferHits())
+	}
+}
+
+func TestL1LineBufferNotVisibleWhileInFlight(t *testing.T) {
+	cfg := ideal2(32<<10, 1)
+	cfg.LineBuffer = true
+	c := testL1(t, cfg, &FixedLatency{Cycles: 50})
+	r, _ := c.TryLoad(0, 0x100) // miss, fills LB at done
+	// While the miss is in flight, a load to the same line must merge
+	// into the MSHR (full miss latency), not hit the LB in one cycle.
+	r2, ok := c.TryLoad(5, 0x100)
+	if !ok {
+		t.Fatal("merge refused")
+	}
+	if r2.LineBufferHit {
+		t.Error("in-flight block must not hit in the line buffer")
+	}
+	if r2.Done != r.Done {
+		t.Errorf("merge done %d, want %d", r2.Done, r.Done)
+	}
+}
+
+func TestL1StoreDrainUsesIdlePorts(t *testing.T) {
+	cfg := DefaultL1Config(32<<10, 1, PortConfig{Kind: DuplicatePorts})
+	c := testL1(t, cfg, nil)
+	// Warm a line, then enqueue a store to it.
+	r, _ := c.TryLoad(0, 0x100)
+	now := r.Done + 1
+	if !c.EnqueueStore(0x100) {
+		t.Fatal("store buffer refused")
+	}
+	// A load is using a port this cycle: the duplicate-cache store
+	// cannot drain.
+	c.TryLoad(now, 0x100)
+	c.DrainStores(now)
+	if c.StoreBufferLen() != 1 {
+		t.Error("store must stay buffered while a load holds a port")
+	}
+	// Idle cycle: it drains.
+	c.DrainStores(now + 1)
+	if c.StoreBufferLen() != 0 {
+		t.Error("store must drain on an idle cycle")
+	}
+	if c.StoresDrained() != 1 {
+		t.Errorf("stores drained = %d, want 1", c.StoresDrained())
+	}
+}
+
+func TestL1StoreMissWriteAllocates(t *testing.T) {
+	next := &FixedLatency{Cycles: 20}
+	c := testL1(t, ideal2(32<<10, 1), next)
+	c.EnqueueStore(0x5000)
+	c.DrainStores(0)
+	if c.StoreMisses() != 1 {
+		t.Errorf("store misses = %d, want 1", c.StoreMisses())
+	}
+	if next.Accesses() != 1 {
+		t.Errorf("next accesses = %d, want 1", next.Accesses())
+	}
+	// The allocated line services a later load as a hit (after fill).
+	r, ok := c.TryLoad(100, 0x5000)
+	if !ok || r.Miss {
+		t.Error("line write-allocated by a store must hit")
+	}
+}
+
+func TestL1StoreBufferCapacity(t *testing.T) {
+	cfg := ideal2(32<<10, 1)
+	cfg.StoreBufferEntries = 2
+	c := testL1(t, cfg, nil)
+	if !c.EnqueueStore(0x0) || !c.EnqueueStore(0x20) {
+		t.Fatal("stores within capacity refused")
+	}
+	if c.EnqueueStore(0x40) {
+		t.Error("store beyond capacity must be refused")
+	}
+}
+
+func TestL1StoresDrainInOrder(t *testing.T) {
+	c := testL1(t, ideal2(32<<10, 1), nil)
+	// Warm both lines so the drain is resource-limited only by ports.
+	r1, _ := c.TryLoad(0, 0x100)
+	c.TryLoad(0, 0x200)
+	now := r1.Done + 10
+	c.EnqueueStore(0x100)
+	c.EnqueueStore(0x200)
+	c.EnqueueStore(0x100)
+	c.DrainStores(now) // 2 ideal ports: two stores drain
+	if c.StoreBufferLen() != 1 {
+		t.Errorf("after one cycle: %d buffered, want 1", c.StoreBufferLen())
+	}
+	c.DrainStores(now + 1)
+	if c.StoreBufferLen() != 0 {
+		t.Errorf("after two cycles: %d buffered, want 0", c.StoreBufferLen())
+	}
+}

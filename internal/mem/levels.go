@@ -1,0 +1,292 @@
+package mem
+
+// Level is a cache level or memory below the primary data cache. Access
+// requests the block containing addr, with the requester's line size in
+// bytes (the amount that must travel back up), starting no earlier than
+// cycle now; it returns the cycle at which the requested block is
+// available to the requester.
+//
+// WriteBack delivers dirty data downward (a write-back eviction or a
+// write-through store). The transfer happens through a write buffer and
+// never blocks the requester, but it occupies bus bandwidth and so
+// delays later misses.
+type Level interface {
+	Access(now Cycle, addr uint64, lineBytes int) Cycle
+	WriteBack(now Cycle, addr uint64, bytes int)
+}
+
+// Memory models main memory: a fixed access latency followed by a
+// bandwidth-limited transfer on the memory bus. The paper's memory has a
+// sixty cycle (300 ns at 200 MHz) access time behind a 1.6 GByte/s bus.
+type Memory struct {
+	latency Cycle
+	bus     *Bus
+
+	accesses   Counter
+	writebacks Counter
+}
+
+// NewMemory returns a memory with the given access latency in cycles and
+// transfer bus (which may not be nil).
+func NewMemory(latency int, bus *Bus) (*Memory, error) {
+	if latency < 0 {
+		return nil, errNonPositive("memory latency", latency)
+	}
+	if bus == nil {
+		return nil, errNonPositive("memory bus", 0)
+	}
+	return &Memory{latency: Cycle(latency), bus: bus}, nil
+}
+
+// Access implements Level.
+func (m *Memory) Access(now Cycle, addr uint64, lineBytes int) Cycle {
+	m.accesses.Inc()
+	return m.bus.Reserve(now+m.latency, lineBytes)
+}
+
+// WriteBack implements Level: the dirty data crosses the memory bus.
+func (m *Memory) WriteBack(now Cycle, addr uint64, bytes int) {
+	m.writebacks.Inc()
+	m.bus.Reserve(now, bytes)
+}
+
+// Accesses returns the number of memory requests served.
+func (m *Memory) Accesses() uint64 { return m.accesses.Value() }
+
+// Writebacks returns the number of write-back transfers received.
+func (m *Memory) Writebacks() uint64 { return m.writebacks.Value() }
+
+// Latency returns the fixed access latency in cycles.
+func (m *Memory) Latency() int { return int(m.latency) }
+
+// L2Cache models the unified off-chip secondary cache: 4 Mbytes,
+// two-way-set-associative, 64 byte lines, ten cycle (50 ns) hits in the
+// baseline configuration. The requested primary-cache line rides back to
+// the chip over the 2.5 GByte/s processor-to-L2 bus; L2 misses fetch a
+// 64-byte L2 line from memory first.
+type L2Cache struct {
+	array *Array
+	hit   Cycle
+	up    *Bus // processor chip <-> L2
+	next  Level
+	dirty map[uint64]struct{} // dirty L2 lines (line index)
+
+	accesses   Counter
+	misses     Counter
+	writebacks Counter
+}
+
+// L2Config sizes the secondary cache.
+type L2Config struct {
+	Bytes     int // capacity (paper: 4 MB)
+	LineBytes int // line size (paper: 64 B)
+	Assoc     int // associativity (paper: 2)
+	HitCycles int // hit latency in processor cycles (paper: 10 at 200 MHz)
+}
+
+// DefaultL2Config returns the paper's secondary cache at a given hit
+// latency in cycles.
+func DefaultL2Config(hitCycles int) L2Config {
+	return L2Config{Bytes: 4 << 20, LineBytes: 64, Assoc: 2, HitCycles: hitCycles}
+}
+
+// NewL2Cache builds the secondary cache in front of next (main memory).
+func NewL2Cache(cfg L2Config, up *Bus, next Level) (*L2Cache, error) {
+	if cfg.HitCycles <= 0 {
+		return nil, errNonPositive("L2 hit latency", cfg.HitCycles)
+	}
+	if up == nil || next == nil {
+		return nil, errNonPositive("L2 bus/next level", 0)
+	}
+	a, err := NewArray(cfg.Bytes, cfg.LineBytes, cfg.Assoc)
+	if err != nil {
+		return nil, err
+	}
+	return &L2Cache{array: a, hit: Cycle(cfg.HitCycles), up: up, next: next, dirty: map[uint64]struct{}{}}, nil
+}
+
+// Access implements Level.
+func (l *L2Cache) Access(now Cycle, addr uint64, lineBytes int) Cycle {
+	l.accesses.Inc()
+	if l.array.Lookup(addr) {
+		return l.up.Reserve(now+l.hit, lineBytes)
+	}
+	l.misses.Inc()
+	// The L2 lookup takes its hit time to discover the miss, then the
+	// 64-byte L2 line is fetched from memory and filled.
+	ready := l.next.Access(now+l.hit, addr, l.array.LineBytes())
+	l.fill(now, addr)
+	return l.up.Reserve(ready, lineBytes)
+}
+
+// fill inserts addr's line, writing back a displaced dirty line.
+func (l *L2Cache) fill(now Cycle, addr uint64) {
+	evicted, did := l.array.Fill(addr)
+	if !did {
+		return
+	}
+	line := lineIndex(evicted, l.array.LineBytes())
+	if _, dirty := l.dirty[line]; dirty {
+		delete(l.dirty, line)
+		l.writebacks.Inc()
+		l.next.WriteBack(now+l.hit, evicted, l.array.LineBytes())
+	}
+}
+
+// WriteBack implements Level: the primary cache's dirty line crosses
+// the chip bus and updates (write-allocating if needed) this cache,
+// whose own displaced dirty lines continue to memory.
+func (l *L2Cache) WriteBack(now Cycle, addr uint64, bytes int) {
+	l.up.Reserve(now, bytes)
+	if !l.array.Lookup(addr) {
+		l.fill(now, addr)
+	}
+	l.dirty[lineIndex(addr, l.array.LineBytes())] = struct{}{}
+}
+
+// WarmTouch brings addr's line into the tag array without charging time
+// or statistics, reporting whether it was already present.
+func (l *L2Cache) WarmTouch(addr uint64) bool {
+	if l.array.Lookup(addr) {
+		return true
+	}
+	l.array.Fill(addr)
+	return false
+}
+
+// Accesses returns the number of L2 requests.
+func (l *L2Cache) Accesses() uint64 { return l.accesses.Value() }
+
+// Misses returns the number of L2 misses.
+func (l *L2Cache) Misses() uint64 { return l.misses.Value() }
+
+// Writebacks returns the number of dirty L2 lines written to memory.
+func (l *L2Cache) Writebacks() uint64 { return l.writebacks.Value() }
+
+// DRAMCache models the 4 Mbyte on-chip DRAM cache of section 2.4. It
+// backs a 16 Kbyte row-buffer primary cache; its hit time is six to
+// eight processor cycles in the paper's sensitivity sweep. There is no
+// off-chip secondary cache in this organization: DRAM misses go straight
+// to main memory and fetch a full 512-byte row.
+type DRAMCache struct {
+	array *Array
+	hit   Cycle
+	next  Level
+	dirty map[uint64]struct{} // dirty rows (row index)
+
+	accesses   Counter
+	misses     Counter
+	writebacks Counter
+}
+
+// DRAMConfig sizes the on-chip DRAM cache.
+type DRAMConfig struct {
+	Bytes     int // capacity (paper: 4 MB)
+	RowBytes  int // row size, also the fetch unit from memory (paper: 512 B)
+	Assoc     int // associativity of the DRAM cache tags
+	HitCycles int // hit latency in processor cycles (paper: 6-8)
+}
+
+// DefaultDRAMConfig returns the paper's DRAM cache at a given hit time.
+func DefaultDRAMConfig(hitCycles int) DRAMConfig {
+	return DRAMConfig{Bytes: 4 << 20, RowBytes: 512, Assoc: 2, HitCycles: hitCycles}
+}
+
+// NewDRAMCache builds the on-chip DRAM cache in front of main memory.
+func NewDRAMCache(cfg DRAMConfig, next Level) (*DRAMCache, error) {
+	if cfg.HitCycles <= 0 {
+		return nil, errNonPositive("DRAM hit latency", cfg.HitCycles)
+	}
+	if next == nil {
+		return nil, errNonPositive("DRAM next level", 0)
+	}
+	a, err := NewArray(cfg.Bytes, cfg.RowBytes, cfg.Assoc)
+	if err != nil {
+		return nil, err
+	}
+	return &DRAMCache{array: a, hit: Cycle(cfg.HitCycles), next: next, dirty: map[uint64]struct{}{}}, nil
+}
+
+// Access implements Level. The row-buffer primary cache's 512-byte lines
+// are the DRAM's own rows, so the transfer up is internal to the chip
+// and included in the hit time.
+func (d *DRAMCache) Access(now Cycle, addr uint64, lineBytes int) Cycle {
+	d.accesses.Inc()
+	if d.array.Lookup(addr) {
+		return now + d.hit
+	}
+	d.misses.Inc()
+	ready := d.next.Access(now+d.hit, addr, d.array.LineBytes())
+	d.fill(now, addr)
+	return ready
+}
+
+// fill inserts addr's row, writing a displaced dirty row to memory.
+func (d *DRAMCache) fill(now Cycle, addr uint64) {
+	evicted, did := d.array.Fill(addr)
+	if !did {
+		return
+	}
+	row := lineIndex(evicted, d.array.LineBytes())
+	if _, dirty := d.dirty[row]; dirty {
+		delete(d.dirty, row)
+		d.writebacks.Inc()
+		d.next.WriteBack(now+d.hit, evicted, d.array.LineBytes())
+	}
+}
+
+// WriteBack implements Level: the row-buffer cache's dirty line lands
+// in the DRAM row on chip (no bus cost); displaced dirty rows continue
+// to memory.
+func (d *DRAMCache) WriteBack(now Cycle, addr uint64, bytes int) {
+	if !d.array.Lookup(addr) {
+		d.fill(now, addr)
+	}
+	d.dirty[lineIndex(addr, d.array.LineBytes())] = struct{}{}
+}
+
+// WarmTouch brings addr's row into the tag array without charging time
+// or statistics, reporting whether it was already present.
+func (d *DRAMCache) WarmTouch(addr uint64) bool {
+	if d.array.Lookup(addr) {
+		return true
+	}
+	d.array.Fill(addr)
+	return false
+}
+
+// Accesses returns the number of DRAM cache requests.
+func (d *DRAMCache) Accesses() uint64 { return d.accesses.Value() }
+
+// Misses returns the number of DRAM cache misses.
+func (d *DRAMCache) Misses() uint64 { return d.misses.Value() }
+
+// Writebacks returns the number of dirty rows written to memory.
+func (d *DRAMCache) Writebacks() uint64 { return d.writebacks.Value() }
+
+// FixedLatency is a Level with a constant response time and no state; it
+// exists for unit tests and for idealized experiments (e.g. a perfect
+// next level when isolating primary-cache behaviour).
+type FixedLatency struct {
+	Cycles Cycle
+
+	accesses   Counter
+	writebacks Counter
+}
+
+// Access implements Level.
+func (f *FixedLatency) Access(now Cycle, addr uint64, lineBytes int) Cycle {
+	f.accesses.Inc()
+	return now + f.Cycles
+}
+
+// WriteBack implements Level; it only counts.
+func (f *FixedLatency) WriteBack(now Cycle, addr uint64, bytes int) {
+	f.writebacks.Inc()
+}
+
+// Writebacks returns the number of write-backs received.
+func (f *FixedLatency) Writebacks() uint64 { return f.writebacks.Value() }
+
+// Accesses returns the number of requests served.
+func (f *FixedLatency) Accesses() uint64 { return f.accesses.Value() }

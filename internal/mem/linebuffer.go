@@ -1,0 +1,113 @@
+package mem
+
+// LineBuffer models the small fully-set-associative multi-ported
+// level-zero cache located within the processor's load/store execution
+// unit [Wils96]. A load that hits in the line buffer returns its data in
+// a single cycle and does not occupy a primary data cache port; every
+// load that does access the primary cache deposits the block it touched
+// into the buffer.
+//
+// The paper's buffer has 32 entries. Entries here hold 32-byte blocks
+// (the SRAM primary cache line size) regardless of the underlying
+// cache's line size; with the 512-byte lines of the DRAM row-buffer
+// cache this is what lets the buffer recover part of the conflict-miss
+// penalty of the long lines while staying far smaller than the cache it
+// front-ends.
+//
+// Because the buffer is multi-ported, any number of loads may hit in it
+// in the same cycle. Blocks become visible only once their source access
+// completes (availAt), so a block whose fill is still in flight cannot
+// supply a single-cycle hit early.
+type LineBuffer struct {
+	blockBytes int
+	entries    []lbEntry // most recently used first
+
+	hits     Counter
+	lookups  Counter
+	fills    Counter
+	tooEarly Counter
+}
+
+type lbEntry struct {
+	block   uint64 // block index (addr / blockBytes)
+	availAt Cycle
+}
+
+// DefaultLineBufferEntries is the paper's 32-entry configuration.
+const DefaultLineBufferEntries = 32
+
+// DefaultLineBufferBlockBytes matches the SRAM primary cache line size.
+const DefaultLineBufferBlockBytes = 32
+
+// NewLineBuffer returns a buffer with the given entry count and block
+// size in bytes (both must be positive; block size a power of two).
+func NewLineBuffer(entries, blockBytes int) (*LineBuffer, error) {
+	if entries <= 0 {
+		return nil, errNonPositive("line buffer entries", entries)
+	}
+	if !isPow2(blockBytes) {
+		return nil, errNotPow2("line buffer block size", blockBytes)
+	}
+	return &LineBuffer{blockBytes: blockBytes, entries: make([]lbEntry, 0, entries)}, nil
+}
+
+// Entries returns the capacity of the buffer.
+func (b *LineBuffer) Entries() int { return cap(b.entries) }
+
+// BlockBytes returns the block granularity.
+func (b *LineBuffer) BlockBytes() int { return b.blockBytes }
+
+// Lookup reports whether addr's block is present and available at cycle
+// now; a hit promotes the entry to most recently used.
+func (b *LineBuffer) Lookup(now Cycle, addr uint64) bool {
+	b.lookups.Inc()
+	blk := lineIndex(addr, b.blockBytes)
+	for i := range b.entries {
+		if b.entries[i].block == blk {
+			if b.entries[i].availAt > now {
+				b.tooEarly.Inc()
+				return false
+			}
+			e := b.entries[i]
+			copy(b.entries[1:i+1], b.entries[:i])
+			b.entries[0] = e
+			b.hits.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// Fill records that addr's block will be resident in the buffer from
+// cycle availAt (the completion cycle of the access that fetched it),
+// evicting the least recently used entry if full.
+func (b *LineBuffer) Fill(availAt Cycle, addr uint64) {
+	blk := lineIndex(addr, b.blockBytes)
+	for i := range b.entries {
+		if b.entries[i].block == blk {
+			// Refresh recency; keep the earlier availability.
+			e := b.entries[i]
+			if availAt < e.availAt {
+				e.availAt = availAt
+			}
+			copy(b.entries[1:i+1], b.entries[:i])
+			b.entries[0] = e
+			return
+		}
+	}
+	b.fills.Inc()
+	if len(b.entries) < cap(b.entries) {
+		b.entries = append(b.entries, lbEntry{})
+	}
+	copy(b.entries[1:], b.entries)
+	b.entries[0] = lbEntry{block: blk, availAt: availAt}
+}
+
+// Hits returns the number of successful single-cycle lookups.
+func (b *LineBuffer) Hits() uint64 { return b.hits.Value() }
+
+// Lookups returns the number of probes.
+func (b *LineBuffer) Lookups() uint64 { return b.lookups.Value() }
+
+// Fills returns the number of new blocks inserted.
+func (b *LineBuffer) Fills() uint64 { return b.fills.Value() }

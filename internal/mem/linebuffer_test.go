@@ -1,0 +1,77 @@
+package mem
+
+import "testing"
+
+func TestLineBufferValidation(t *testing.T) {
+	if _, err := NewLineBuffer(0, 32); err == nil {
+		t.Error("zero entries must fail")
+	}
+	if _, err := NewLineBuffer(32, 33); err == nil {
+		t.Error("non-power-of-two block must fail")
+	}
+	lb, err := NewLineBuffer(DefaultLineBufferEntries, DefaultLineBufferBlockBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Entries() != 32 || lb.BlockBytes() != 32 {
+		t.Errorf("geometry = %d entries x %dB", lb.Entries(), lb.BlockBytes())
+	}
+}
+
+func TestLineBufferHitAfterFill(t *testing.T) {
+	lb, _ := NewLineBuffer(4, 32)
+	if lb.Lookup(10, 0x100) {
+		t.Fatal("empty buffer must miss")
+	}
+	lb.Fill(10, 0x100)
+	if !lb.Lookup(10, 0x100) {
+		t.Error("filled block must hit at its availability cycle")
+	}
+	if !lb.Lookup(11, 0x11f) {
+		t.Error("same 32-byte block must hit")
+	}
+	if lb.Lookup(11, 0x120) {
+		t.Error("adjacent block must miss")
+	}
+	if lb.Hits() != 2 || lb.Lookups() != 4 {
+		t.Errorf("hits/lookups = %d/%d, want 2/4", lb.Hits(), lb.Lookups())
+	}
+}
+
+func TestLineBufferInFlightBlockNotVisible(t *testing.T) {
+	lb, _ := NewLineBuffer(4, 32)
+	// Block fetched by a miss completing at cycle 50.
+	lb.Fill(50, 0x200)
+	if lb.Lookup(49, 0x200) {
+		t.Error("block must not hit before its fill completes")
+	}
+	if !lb.Lookup(50, 0x200) {
+		t.Error("block must hit once its fill completes")
+	}
+}
+
+func TestLineBufferLRU(t *testing.T) {
+	lb, _ := NewLineBuffer(2, 32)
+	lb.Fill(0, 0x00)
+	lb.Fill(0, 0x20)
+	lb.Lookup(1, 0x00) // promote 0x00
+	lb.Fill(1, 0x40)   // evicts 0x20
+	if lb.Lookup(2, 0x20) {
+		t.Error("LRU block must have been evicted")
+	}
+	if !lb.Lookup(2, 0x00) || !lb.Lookup(2, 0x40) {
+		t.Error("resident blocks missing")
+	}
+}
+
+func TestLineBufferRefillKeepsEarlierAvailability(t *testing.T) {
+	lb, _ := NewLineBuffer(4, 32)
+	lb.Fill(10, 0x100)
+	lb.Fill(99, 0x100) // refresh recency; must not delay availability
+	if !lb.Lookup(10, 0x100) {
+		t.Error("re-fill must not push availability later")
+	}
+	if lb.Fills() != 1 {
+		t.Errorf("fills = %d, want 1 (refresh is not a new fill)", lb.Fills())
+	}
+}

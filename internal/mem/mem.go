@@ -1,0 +1,51 @@
+// Package mem models the on-chip and off-chip memory hierarchy of the
+// study: a multi-ported, multi-cycle, lockup-free primary data cache
+// (ideal-ported, duplicate, or banked), an optional line buffer in the
+// load/store unit, a unified off-chip secondary cache, an optional
+// on-chip DRAM cache with a row-buffer primary cache, bandwidth-limited
+// buses, and main memory.
+//
+// All timing is expressed in processor cycles. The hierarchy is driven
+// synchronously by the CPU model: loads attempt to start an access at
+// the current cycle and either receive a completion cycle or are told to
+// retry (a structural port, bank, or MSHR stall); stores are buffered at
+// retirement and drain into idle ports at the end of each cycle, per the
+// paper's assumption that stores never delay loads.
+package mem
+
+import "fmt"
+
+// Cycle is a point in simulated time, in processor clocks.
+type Cycle uint64
+
+func errNonPositive(what string, v int) error {
+	return fmt.Errorf("mem: %s must be positive, got %d", what, v)
+}
+
+func errNotPow2(what string, v int) error {
+	return fmt.Errorf("mem: %s must be a power of two, got %d", what, v)
+}
+
+// lineAddr returns the line-aligned address index for the given byte
+// address and line size (which must be a power of two).
+func lineIndex(addr uint64, lineBytes int) uint64 {
+	return addr / uint64(lineBytes)
+}
+
+func maxCycle(a, b Cycle) Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+func log2(x int) uint {
+	var n uint
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

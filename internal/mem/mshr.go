@@ -1,0 +1,103 @@
+package mem
+
+// MSHRFile models the miss status handling registers that make the
+// primary data cache lockup-free [Fark94, Krof81]. The paper's
+// configuration has four MSHRs in the primary data cache, supporting
+// outstanding misses to up to four distinct lines. A second miss to a
+// line that is already in flight merges into the existing entry
+// (a "secondary miss"); a miss that needs a new entry when all four are
+// live is a structural stall and must retry.
+type MSHRFile struct {
+	entries []mshrEntry
+
+	primary   Counter
+	secondary Counter
+	full      Counter
+}
+
+type mshrEntry struct {
+	line uint64 // line index (address / lineBytes) the miss targets
+	done Cycle  // cycle at which the fill completes and the entry frees
+	live bool
+}
+
+// NewMSHRFile returns a file with n registers. n must be positive.
+func NewMSHRFile(n int) *MSHRFile {
+	if n <= 0 {
+		panic("mem: MSHR count must be positive")
+	}
+	return &MSHRFile{entries: make([]mshrEntry, n)}
+}
+
+// Size returns the number of registers.
+func (m *MSHRFile) Size() int { return len(m.entries) }
+
+// expire releases entries whose fills completed at or before now.
+func (m *MSHRFile) expire(now Cycle) {
+	for i := range m.entries {
+		if m.entries[i].live && m.entries[i].done <= now {
+			m.entries[i].live = false
+		}
+	}
+}
+
+// Lookup reports whether a miss to line is already outstanding at cycle
+// now, returning the fill completion cycle for a secondary-miss merge.
+func (m *MSHRFile) Lookup(now Cycle, line uint64) (Cycle, bool) {
+	m.expire(now)
+	for i := range m.entries {
+		if m.entries[i].live && m.entries[i].line == line {
+			m.secondary.Inc()
+			return m.entries[i].done, true
+		}
+	}
+	return 0, false
+}
+
+// HasFree reports whether a new miss could allocate a register at now.
+func (m *MSHRFile) HasFree(now Cycle) bool {
+	m.expire(now)
+	for i := range m.entries {
+		if !m.entries[i].live {
+			return true
+		}
+	}
+	m.full.Inc()
+	return false
+}
+
+// Allocate records a new outstanding miss to line completing at done.
+// It reports false (a structural stall) when every register is live.
+func (m *MSHRFile) Allocate(now Cycle, line uint64, done Cycle) bool {
+	m.expire(now)
+	for i := range m.entries {
+		if !m.entries[i].live {
+			m.entries[i] = mshrEntry{line: line, done: done, live: true}
+			m.primary.Inc()
+			return true
+		}
+	}
+	m.full.Inc()
+	return false
+}
+
+// Live returns the number of outstanding misses at cycle now.
+func (m *MSHRFile) Live(now Cycle) int {
+	m.expire(now)
+	n := 0
+	for i := range m.entries {
+		if m.entries[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// PrimaryMisses returns the number of allocations (distinct-line misses).
+func (m *MSHRFile) PrimaryMisses() uint64 { return m.primary.Value() }
+
+// SecondaryMisses returns the number of merged misses.
+func (m *MSHRFile) SecondaryMisses() uint64 { return m.secondary.Value() }
+
+// FullStalls returns how many times an access found the file full.
+func (m *MSHRFile) FullStalls() uint64 { return m.full.Value() }

@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	m := NewMSHRFile(4)
+	if m.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", m.Size())
+	}
+	if !m.Allocate(0, 100, 50) {
+		t.Fatal("allocation in empty file must succeed")
+	}
+	done, ok := m.Lookup(10, 100)
+	if !ok || done != 50 {
+		t.Errorf("Lookup = (%d,%v), want (50,true)", done, ok)
+	}
+	if _, ok := m.Lookup(10, 101); ok {
+		t.Error("different line must not merge")
+	}
+	if m.PrimaryMisses() != 1 || m.SecondaryMisses() != 1 {
+		t.Errorf("primary/secondary = %d/%d, want 1/1", m.PrimaryMisses(), m.SecondaryMisses())
+	}
+}
+
+func TestMSHRStructuralLimit(t *testing.T) {
+	m := NewMSHRFile(4)
+	for i := 0; i < 4; i++ {
+		if !m.Allocate(0, uint64(i), 100) {
+			t.Fatalf("allocation %d must succeed", i)
+		}
+	}
+	if m.HasFree(50) {
+		t.Error("file must be full at cycle 50")
+	}
+	if m.Allocate(50, 99, 200) {
+		t.Error("fifth concurrent allocation must fail")
+	}
+	if m.FullStalls() == 0 {
+		t.Error("full stalls must be counted")
+	}
+	if m.Live(50) != 4 {
+		t.Errorf("Live = %d, want 4", m.Live(50))
+	}
+}
+
+func TestMSHRExpiry(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(0, 1, 10)
+	m.Allocate(0, 2, 20)
+	// At cycle 10 the first fill completes and its register frees.
+	if !m.Allocate(10, 3, 30) {
+		t.Error("register must free once its fill completes")
+	}
+	if _, ok := m.Lookup(10, 1); ok {
+		t.Error("completed miss must no longer merge")
+	}
+	if m.Live(10) != 2 {
+		t.Errorf("Live(10) = %d, want 2", m.Live(10))
+	}
+	if m.Live(100) != 0 {
+		t.Errorf("Live(100) = %d, want 0", m.Live(100))
+	}
+}
+
+func TestMSHRZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMSHRFile(0) must panic")
+		}
+	}()
+	NewMSHRFile(0)
+}
+
+// Property: the number of live entries never exceeds the file size, and
+// a merge is offered if and only if the line was allocated and its fill
+// has not completed.
+func TestMSHRInvariantProperty(t *testing.T) {
+	type op struct {
+		Line uint8
+		Dur  uint8
+	}
+	f := func(ops []op) bool {
+		m := NewMSHRFile(4)
+		now := Cycle(0)
+		inflight := map[uint64]Cycle{} // line -> done
+		for _, o := range ops {
+			now += 1
+			for l, d := range inflight {
+				if d <= now {
+					delete(inflight, l)
+				}
+			}
+			line := uint64(o.Line % 8)
+			done, merged := m.Lookup(now, line)
+			wantDone, wantMerged := inflight[line], false
+			if d, ok := inflight[line]; ok && d > now {
+				wantMerged = true
+				wantDone = d
+			}
+			if merged != wantMerged || (merged && done != wantDone) {
+				return false
+			}
+			if !merged {
+				d := now + Cycle(o.Dur%50) + 1
+				if m.Allocate(now, line, d) {
+					inflight[line] = d
+				} else if len(inflight) < 4 {
+					return false // refused despite free capacity
+				}
+			}
+			if m.Live(now) > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

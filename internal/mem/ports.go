@@ -1,0 +1,206 @@
+package mem
+
+import "fmt"
+
+// PortKind selects how the primary data cache provides access bandwidth.
+type PortKind int
+
+const (
+	// IdealPorts models N cache ports that operate fully independently:
+	// any N accesses may start each cycle regardless of address, with no
+	// hit-time penalty. This is the idealization of section 2.1.
+	IdealPorts PortKind = iota
+	// DuplicatePorts models a duplicated primary data cache (two full
+	// copies, as in the Alpha 21164): two loads to arbitrary addresses
+	// may start each cycle, but a store must write both copies at once
+	// and therefore needs a cycle in which neither port serves a load.
+	DuplicatePorts
+	// BankedPorts models an externally B-way banked cache: each bank has
+	// its own port and accepts one new access per cycle, so accesses that
+	// collide on a bank conflict and must serialize. Banks are selected
+	// by low-order line-address bits.
+	BankedPorts
+)
+
+func (k PortKind) String() string {
+	switch k {
+	case IdealPorts:
+		return "ideal"
+	case DuplicatePorts:
+		return "duplicate"
+	case BankedPorts:
+		return "banked"
+	default:
+		return fmt.Sprintf("PortKind(%d)", int(k))
+	}
+}
+
+// PortConfig describes the port organization of a cache.
+type PortConfig struct {
+	Kind PortKind
+	// Count is the number of ideal ports or banks. DuplicatePorts is
+	// always two ports and ignores Count.
+	Count int
+	// InterleaveBytes selects the banking granularity: consecutive
+	// chunks of this many bytes map to consecutive banks. Zero selects
+	// line interleaving (the cache's line size), the design of
+	// [Sohi91] and the R10000; setting it to the word size (8) models
+	// word-interleaved banks, which spread a single line's words across
+	// banks.
+	InterleaveBytes int
+}
+
+func (c PortConfig) String() string {
+	switch c.Kind {
+	case IdealPorts:
+		return fmt.Sprintf("%d ideal port(s)", c.Count)
+	case DuplicatePorts:
+		return "duplicate (2 ports)"
+	case BankedPorts:
+		return fmt.Sprintf("%d-way banked", c.Count)
+	default:
+		return c.Kind.String()
+	}
+}
+
+// validate reports a configuration error, if any.
+func (c PortConfig) validate() error {
+	switch c.Kind {
+	case IdealPorts:
+		if c.Count <= 0 {
+			return fmt.Errorf("mem: ideal port count must be positive, got %d", c.Count)
+		}
+	case DuplicatePorts:
+		// Count ignored.
+	case BankedPorts:
+		if !isPow2(c.Count) {
+			return fmt.Errorf("mem: bank count must be a power of two, got %d", c.Count)
+		}
+		if c.InterleaveBytes != 0 && !isPow2(c.InterleaveBytes) {
+			return fmt.Errorf("mem: interleave granularity must be a power of two, got %d", c.InterleaveBytes)
+		}
+	default:
+		return fmt.Errorf("mem: unknown port kind %v", c.Kind)
+	}
+	return nil
+}
+
+// portScheduler arbitrates cache port/bank usage cycle by cycle. Callers
+// must present non-decreasing cycles; state resets when the cycle
+// advances (every organization the paper considers is fully pipelined,
+// accepting a new access per port per cycle regardless of hit latency).
+type portScheduler struct {
+	cfg        PortConfig
+	interleave uint64 // bank interleave granularity in bytes
+
+	cycle    Cycle
+	used     int    // ports used this cycle (ideal/duplicate)
+	bankBusy []bool // per-bank usage this cycle (banked)
+
+	loadGrants    Counter
+	storeGrants   Counter
+	portConflicts Counter
+	bankConflicts Counter
+}
+
+// newPortScheduler builds a scheduler; defaultInterleave (the cache's
+// line size) applies when the config does not set a granularity.
+func newPortScheduler(cfg PortConfig, defaultInterleave int) (*portScheduler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	interleave := cfg.InterleaveBytes
+	if interleave == 0 {
+		interleave = defaultInterleave
+	}
+	if interleave <= 0 || !isPow2(interleave) {
+		return nil, errNotPow2("bank interleave granularity", interleave)
+	}
+	p := &portScheduler{cfg: cfg, interleave: uint64(interleave)}
+	if cfg.Kind == BankedPorts {
+		p.bankBusy = make([]bool, cfg.Count)
+	}
+	return p, nil
+}
+
+func (p *portScheduler) advance(now Cycle) {
+	if now == p.cycle {
+		return
+	}
+	p.cycle = now
+	p.used = 0
+	for i := range p.bankBusy {
+		p.bankBusy[i] = false
+	}
+}
+
+func (p *portScheduler) bankOf(addr uint64) int {
+	return int(addr / p.interleave % uint64(len(p.bankBusy)))
+}
+
+// tryLoad attempts to claim a port for a load of addr at now.
+func (p *portScheduler) tryLoad(now Cycle, addr uint64) bool {
+	p.advance(now)
+	switch p.cfg.Kind {
+	case IdealPorts:
+		if p.used >= p.cfg.Count {
+			p.portConflicts.Inc()
+			return false
+		}
+		p.used++
+	case DuplicatePorts:
+		if p.used >= 2 {
+			p.portConflicts.Inc()
+			return false
+		}
+		p.used++
+	case BankedPorts:
+		b := p.bankOf(addr)
+		if p.bankBusy[b] {
+			p.bankConflicts.Inc()
+			return false
+		}
+		p.bankBusy[b] = true
+	}
+	p.loadGrants.Inc()
+	return true
+}
+
+// tryStore attempts to claim resources for a store at now. Stores only
+// drain into idle capacity: for a duplicate cache both copies must be
+// written in the same cycle, so the store needs both ports free.
+func (p *portScheduler) tryStore(now Cycle, addr uint64) bool {
+	p.advance(now)
+	switch p.cfg.Kind {
+	case IdealPorts:
+		if p.used >= p.cfg.Count {
+			return false
+		}
+		p.used++
+	case DuplicatePorts:
+		if p.used != 0 {
+			return false
+		}
+		p.used = 2
+	case BankedPorts:
+		b := p.bankOf(addr)
+		if p.bankBusy[b] {
+			return false
+		}
+		p.bankBusy[b] = true
+	}
+	p.storeGrants.Inc()
+	return true
+}
+
+// LoadGrants returns the number of load accesses granted a port.
+func (p *portScheduler) LoadGrants() uint64 { return p.loadGrants.Value() }
+
+// StoreGrants returns the number of store accesses granted a port.
+func (p *portScheduler) StoreGrants() uint64 { return p.storeGrants.Value() }
+
+// PortConflicts returns load retries due to port exhaustion.
+func (p *portScheduler) PortConflicts() uint64 { return p.portConflicts.Value() }
+
+// BankConflicts returns load retries due to bank conflicts.
+func (p *portScheduler) BankConflicts() uint64 { return p.bankConflicts.Value() }

@@ -1,0 +1,152 @@
+package mem
+
+import "testing"
+
+func mustPorts(t *testing.T, cfg PortConfig) *portScheduler {
+	t.Helper()
+	p, err := newPortScheduler(cfg, 32)
+	if err != nil {
+		t.Fatalf("newPortScheduler(%v): %v", cfg, err)
+	}
+	return p
+}
+
+func TestPortConfigValidation(t *testing.T) {
+	bad := []PortConfig{
+		{Kind: IdealPorts, Count: 0},
+		{Kind: BankedPorts, Count: 3},
+		{Kind: BankedPorts, Count: 0},
+		{Kind: PortKind(9), Count: 1},
+	}
+	for _, c := range bad {
+		if _, err := newPortScheduler(c, 32); err == nil {
+			t.Errorf("config %v should fail", c)
+		}
+	}
+	good := []PortConfig{
+		{Kind: IdealPorts, Count: 1},
+		{Kind: IdealPorts, Count: 4},
+		{Kind: DuplicatePorts},
+		{Kind: BankedPorts, Count: 8},
+		{Kind: BankedPorts, Count: 128},
+	}
+	for _, c := range good {
+		if _, err := newPortScheduler(c, 32); err != nil {
+			t.Errorf("config %v should succeed: %v", c, err)
+		}
+	}
+}
+
+func TestIdealPortsPerCycle(t *testing.T) {
+	p := mustPorts(t, PortConfig{Kind: IdealPorts, Count: 2})
+	if !p.tryLoad(5, 0) || !p.tryLoad(5, 0) {
+		t.Fatal("two loads to the same line must both start on 2 ideal ports")
+	}
+	if p.tryLoad(5, 1) {
+		t.Error("third load in one cycle must be refused")
+	}
+	if p.PortConflicts() != 1 {
+		t.Errorf("port conflicts = %d, want 1", p.PortConflicts())
+	}
+	// Next cycle the ports are fresh.
+	if !p.tryLoad(6, 1) {
+		t.Error("port must free on the next cycle")
+	}
+}
+
+func TestDuplicatePortsStoreNeedsBoth(t *testing.T) {
+	p := mustPorts(t, PortConfig{Kind: DuplicatePorts})
+	if !p.tryLoad(0, 7) {
+		t.Fatal("first load refused")
+	}
+	// One port busy: a store must wait (it writes both copies at once).
+	if p.tryStore(0, 9) {
+		t.Error("store must not start while a load holds a port")
+	}
+	if !p.tryLoad(0, 8) {
+		t.Error("second load refused")
+	}
+	// Fresh cycle, idle ports: the store takes both.
+	if !p.tryStore(1, 9) {
+		t.Error("store must start on idle ports")
+	}
+	if p.tryLoad(1, 7) {
+		t.Error("load must not start while a store writes both copies")
+	}
+}
+
+func TestBankedPortsConflicts(t *testing.T) {
+	p := mustPorts(t, PortConfig{Kind: BankedPorts, Count: 8})
+	// With 32-byte line interleaving, lines 0 and 8 (addresses 0x000
+	// and 0x100) map to bank 0; line 1 (0x020) maps to bank 1.
+	if !p.tryLoad(0, 0x000) {
+		t.Fatal("first access refused")
+	}
+	if p.tryLoad(0, 0x100) {
+		t.Error("same-bank access must conflict")
+	}
+	if p.BankConflicts() != 1 {
+		t.Errorf("bank conflicts = %d, want 1", p.BankConflicts())
+	}
+	if !p.tryLoad(0, 0x020) {
+		t.Error("different-bank access must proceed")
+	}
+	// All eight banks can start one access each.
+	p2 := mustPorts(t, PortConfig{Kind: BankedPorts, Count: 8})
+	for b := uint64(0); b < 8; b++ {
+		if !p2.tryLoad(0, b*32) {
+			t.Fatalf("bank %d refused with no conflict", b)
+		}
+	}
+	if p2.tryLoad(0, 3*32) {
+		t.Error("ninth access must conflict somewhere")
+	}
+}
+
+func TestBankedStoreUsesItsBank(t *testing.T) {
+	p := mustPorts(t, PortConfig{Kind: BankedPorts, Count: 2})
+	if !p.tryLoad(0, 0x00) { // bank 0
+		t.Fatal("load refused")
+	}
+	if !p.tryStore(0, 0x20) { // bank 1 is free
+		t.Error("store to a free bank must proceed")
+	}
+	if p.tryStore(0, 0x60) { // bank 1 now busy
+		t.Error("store to a busy bank must wait")
+	}
+}
+
+func TestPortGrantCounters(t *testing.T) {
+	p := mustPorts(t, PortConfig{Kind: IdealPorts, Count: 4})
+	p.tryLoad(0, 0)
+	p.tryLoad(0, 1)
+	p.tryStore(0, 2)
+	if p.LoadGrants() != 2 || p.StoreGrants() != 1 {
+		t.Errorf("grants = %d loads / %d stores, want 2/1", p.LoadGrants(), p.StoreGrants())
+	}
+}
+
+func TestPortKindString(t *testing.T) {
+	if IdealPorts.String() != "ideal" || DuplicatePorts.String() != "duplicate" || BankedPorts.String() != "banked" {
+		t.Error("port kind names wrong")
+	}
+	cfg := PortConfig{Kind: BankedPorts, Count: 8}
+	if cfg.String() != "8-way banked" {
+		t.Errorf("config string = %q", cfg.String())
+	}
+}
+
+func TestWordInterleavedBanks(t *testing.T) {
+	// Word interleaving (8-byte granularity) spreads a line's words
+	// over banks: addresses 0x00 and 0x08 land in different banks.
+	p := mustPorts(t, PortConfig{Kind: BankedPorts, Count: 8, InterleaveBytes: 8})
+	if !p.tryLoad(0, 0x00) || !p.tryLoad(0, 0x08) {
+		t.Error("word-interleaved banks must accept adjacent words")
+	}
+	if p.tryLoad(0, 0x40) { // 0x40/8 = 8 -> bank 0 again
+		t.Error("same word-bank must conflict")
+	}
+	if _, err := newPortScheduler(PortConfig{Kind: BankedPorts, Count: 8, InterleaveBytes: 12}, 32); err == nil {
+		t.Error("non-power-of-two interleave must fail")
+	}
+}

@@ -1,0 +1,155 @@
+package mem
+
+import "testing"
+
+func sectoredL1(t *testing.T, next Level) *L1Cache {
+	t.Helper()
+	// Row-buffer geometry: 512-byte lines, 32-byte sectors.
+	cfg := L1Config{
+		Bytes: 16 << 10, LineBytes: 512, Assoc: 2, HitCycles: 1,
+		Ports: PortConfig{Kind: IdealPorts, Count: 4}, MSHRs: 4,
+		SectorBytes: 32,
+	}
+	c, err := NewL1Cache(cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSectoredConfigValidation(t *testing.T) {
+	next := &FixedLatency{Cycles: 6}
+	bad := []L1Config{
+		{Bytes: 16 << 10, LineBytes: 512, Assoc: 2, HitCycles: 1, Ports: PortConfig{Kind: IdealPorts, Count: 1}, MSHRs: 4, SectorBytes: 33},
+		{Bytes: 16 << 10, LineBytes: 512, Assoc: 2, HitCycles: 1, Ports: PortConfig{Kind: IdealPorts, Count: 1}, MSHRs: 4, SectorBytes: 4}, // 128 sectors > 64
+	}
+	for i, cfg := range bad {
+		if _, err := NewL1Cache(cfg, next); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestSectoredFetchesOnlySector(t *testing.T) {
+	bus, _ := NewBus(1.6, 5) // 8 B/cycle
+	memory, _ := NewMemory(60, bus)
+	c := sectoredL1(t, memory)
+	// Full miss fetches 32 bytes (4 bus cycles), not 512 (64 cycles):
+	// done = 1 (lookup) + 60 + 4 = 65.
+	r, ok := c.TryLoad(0, 0x1000)
+	if !ok {
+		t.Fatal("load refused")
+	}
+	if r.Done != 65 {
+		t.Errorf("sector miss done at %d, want 65 (32-byte fetch)", r.Done)
+	}
+}
+
+func TestSectoredHitAndSectorMiss(t *testing.T) {
+	next := &FixedLatency{Cycles: 6}
+	c := sectoredL1(t, next)
+	r, _ := c.TryLoad(0, 0x1000)
+	now := r.Done + 1
+	// Same sector: a plain hit.
+	r2, ok := c.TryLoad(now, 0x1008)
+	if !ok || r2.Miss {
+		t.Fatalf("same-sector access must hit: %+v", r2)
+	}
+	if r2.Done != now+1 {
+		t.Errorf("sector hit done at %d, want %d", r2.Done, now+1)
+	}
+	// Same 512-byte line, different sector: a sector miss that fetches.
+	before := next.Accesses()
+	r3, ok := c.TryLoad(now+10, 0x1040)
+	if !ok || !r3.Miss {
+		t.Fatalf("different-sector access must sector-miss: %+v", r3)
+	}
+	if next.Accesses() != before+1 {
+		t.Error("sector miss must fetch from the next level")
+	}
+	// And after the fetch, the new sector hits too.
+	r4, _ := c.TryLoad(r3.Done+1, 0x1040)
+	if r4.Miss {
+		t.Error("fetched sector must hit")
+	}
+}
+
+func TestSectoredDistinctSectorMissesDoNotMerge(t *testing.T) {
+	next := &FixedLatency{Cycles: 50}
+	c := sectoredL1(t, next)
+	c.TryLoad(0, 0x1000) // line + sector 0 in flight
+	// A different sector of the same line is an independent miss: it
+	// must fetch, not merge into sector 0's MSHR.
+	before := next.Accesses()
+	r, ok := c.TryLoad(1, 0x1040)
+	if !ok {
+		t.Fatal("second sector refused")
+	}
+	if next.Accesses() != before+1 {
+		t.Error("distinct sector must fetch independently")
+	}
+	_ = r
+	// The same sector, though, merges.
+	before = next.Accesses()
+	if _, ok := c.TryLoad(2, 0x1008); !ok {
+		t.Fatal("merge refused")
+	}
+	if next.Accesses() != before {
+		t.Error("same-sector access must merge into the in-flight MSHR")
+	}
+}
+
+func TestSectoredEvictionClearsSectors(t *testing.T) {
+	next := &FixedLatency{Cycles: 6}
+	// Tiny sectored cache: 1 set x 2 ways of 512-byte lines.
+	cfg := L1Config{
+		Bytes: 1024, LineBytes: 512, Assoc: 2, HitCycles: 1,
+		Ports: PortConfig{Kind: IdealPorts, Count: 4}, MSHRs: 4,
+		SectorBytes: 32,
+	}
+	c, err := NewL1Cache(cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.TryLoad(0, 0x0000)
+	c.TryLoad(100, 0x0200)
+	c.TryLoad(200, 0x0400) // evicts line 0
+	// Line 0 returns: its old sector bitmap must be gone (full miss,
+	// and a subsequent different-sector access must miss again).
+	r, _ := c.TryLoad(300, 0x0000)
+	if !r.Miss {
+		t.Error("evicted line must fully miss")
+	}
+	if len(c.sectors) > 2 {
+		t.Errorf("stale sector bitmaps: %d entries for a 2-line cache", len(c.sectors))
+	}
+}
+
+func TestSectoredStoreDrain(t *testing.T) {
+	next := &FixedLatency{Cycles: 6}
+	c := sectoredL1(t, next)
+	r, _ := c.TryLoad(0, 0x1000)
+	now := r.Done + 1
+	// Store to a resident line but absent sector: sector write-allocate.
+	c.EnqueueStore(0x1040)
+	c.DrainStores(now)
+	if c.StoreMisses() != 1 {
+		t.Errorf("store misses = %d, want 1 (sector allocate)", c.StoreMisses())
+	}
+	// The sector is now valid: a load hits.
+	r2, _ := c.TryLoad(now+100, 0x1040)
+	if r2.Miss {
+		t.Error("store-allocated sector must hit")
+	}
+}
+
+func TestSectoredWarmTouchValidatesSectors(t *testing.T) {
+	next := &FixedLatency{Cycles: 6}
+	c := sectoredL1(t, next)
+	c.WarmTouch(0x1000)
+	c.WarmTouch(0x1040)
+	r, _ := c.TryLoad(0, 0x1040)
+	if r.Miss {
+		t.Error("warm-touched sector must hit")
+	}
+}

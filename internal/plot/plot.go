@@ -1,0 +1,219 @@
+// Package plot renders simple text charts for the experiment harness:
+// line charts for the paper's IPC/miss-rate/execution-time curves and
+// bar charts for categorical comparisons. The output is plain ASCII so
+// figures render anywhere the reproduction runs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []float64 // y values; x positions come from the chart labels
+}
+
+// LineChart renders one or more series against shared x labels.
+type LineChart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+
+	// Height is the plot area height in rows (default 16).
+	Height int
+	// Width is the plot area width in columns (default: one column per
+	// x position, spaced to at least 48 columns).
+	Width int
+}
+
+// seriesMarks are the glyphs assigned to successive series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~', '&', '$'}
+
+// Render draws the chart.
+func (c *LineChart) Render() string {
+	if len(c.Series) == 0 || len(c.XLabels) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 48
+		if len(c.XLabels) > 8 {
+			width = 6 * len(c.XLabels)
+		}
+	}
+
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Points {
+			if math.IsNaN(v) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the range slightly so extremes do not sit on the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xpos := func(i int) int {
+		if len(c.XLabels) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(c.XLabels) - 1)
+	}
+	ypos := func(v float64) int {
+		r := int(math.Round((ymax - v) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		prevX, prevY := -1, -1
+		for i, v := range s.Points {
+			if i >= len(c.XLabels) || math.IsNaN(v) {
+				prevX = -1
+				continue
+			}
+			x, y := xpos(i), ypos(v)
+			if prevX >= 0 {
+				drawLine(grid, prevX, prevY, x, y, '.')
+			}
+			grid[y][x] = mark
+			prevX, prevY = x, y
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisW := 9
+	for r := 0; r < height; r++ {
+		yval := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		if r%4 == 0 || r == height-1 {
+			fmt.Fprintf(&b, "%*.3f |", axisW-2, yval)
+		} else {
+			fmt.Fprintf(&b, "%s |", strings.Repeat(" ", axisW-2))
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisW-2), strings.Repeat("-", width))
+	b.WriteString(xAxisLabels(c.XLabels, axisW, width, xpos))
+	// Legend.
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s%c %s\n", strings.Repeat(" ", axisW), seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%sy: %s\n", strings.Repeat(" ", axisW), c.YLabel)
+	}
+	return b.String()
+}
+
+// xAxisLabels lays x labels under their tick positions, dropping labels
+// that would collide.
+func xAxisLabels(labels []string, axisW, width int, xpos func(int) int) string {
+	row := []byte(strings.Repeat(" ", axisW+width+8))
+	lastEnd := -1
+	for i, l := range labels {
+		start := axisW + xpos(i) - len(l)/2
+		if start <= lastEnd {
+			continue
+		}
+		if start+len(l) > len(row) {
+			start = len(row) - len(l)
+		}
+		copy(row[start:], l)
+		lastEnd = start + len(l)
+	}
+	return strings.TrimRight(string(row), " ") + "\n"
+}
+
+// drawLine draws a shallow connector between consecutive points.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx := x1 - x0
+	if dx <= 0 {
+		return
+	}
+	for x := x0 + 1; x < x1; x++ {
+		y := y0 + (y1-y0)*(x-x0)/dx
+		if grid[y][x] == ' ' {
+			grid[y][x] = ch
+		}
+	}
+}
+
+// BarChart renders labeled horizontal bars, useful for single-valued
+// comparisons (e.g. IPC per organization).
+type BarChart struct {
+	Title string
+	Rows  []BarRow
+	// Width is the maximum bar length in columns (default 40).
+	Width int
+}
+
+// BarRow is one bar.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	if len(c.Rows) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := math.Inf(-1)
+	labelW := 0
+	for _, r := range c.Rows {
+		maxVal = math.Max(maxVal, r.Value)
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, r := range c.Rows {
+		n := int(math.Round(r.Value / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.3f\n", labelW, r.Label, strings.Repeat("=", n), r.Value)
+	}
+	return b.String()
+}

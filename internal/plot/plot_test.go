@@ -1,0 +1,127 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasics(t *testing.T) {
+	c := &LineChart{
+		Title:   "IPC vs size",
+		YLabel:  "IPC",
+		XLabels: []string{"4K", "8K", "16K", "32K"},
+		Series: []Series{
+			{Name: "duplicate", Points: []float64{1.0, 1.2, 1.4, 1.5}},
+			{Name: "banked", Points: []float64{0.9, 1.1, 1.3, 1.45}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"IPC vs size", "duplicate", "banked", "4K", "32K", "*", "o", "y: IPC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := &LineChart{Title: "empty"}
+	if !strings.Contains(c.Render(), "(no data)") {
+		t.Error("empty chart must say so")
+	}
+	c2 := &LineChart{XLabels: []string{"a"}, Series: []Series{{Name: "s", Points: []float64{math.NaN()}}}}
+	if !strings.Contains(c2.Render(), "(no data)") {
+		t.Error("all-NaN chart must say so")
+	}
+}
+
+func TestLineChartFlatSeries(t *testing.T) {
+	c := &LineChart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "flat", Points: []float64{2, 2}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series must still plot:\n%s", out)
+	}
+}
+
+func TestLineChartNaNGaps(t *testing.T) {
+	c := &LineChart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "gappy", Points: []float64{1, math.NaN(), 3}}},
+	}
+	out := c.Render()
+	// Two plotted points plus the legend's own marker.
+	if strings.Count(out, "*") != 3 {
+		t.Errorf("NaN points must be skipped, got:\n%s", out)
+	}
+}
+
+func TestLineChartExtremesInFrame(t *testing.T) {
+	// Max and min values must land inside the plotted grid.
+	c := &LineChart{
+		XLabels: []string{"a", "b", "c", "d", "e"},
+		Series:  []Series{{Name: "s", Points: []float64{0, 100, 50, 25, 75}}},
+		Height:  10,
+	}
+	out := c.Render()
+	// Five plotted points plus the legend's own marker.
+	if strings.Count(out, "*") != 6 {
+		t.Errorf("all 5 points must be plotted:\n%s", out)
+	}
+}
+
+func TestSeriesMarksCycle(t *testing.T) {
+	var series []Series
+	for i := 0; i < 12; i++ {
+		series = append(series, Series{Name: "s", Points: []float64{float64(i)}})
+	}
+	c := &LineChart{XLabels: []string{"x"}, Series: series}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Errorf("marks must cycle without panic:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title: "IPC by organization",
+		Rows: []BarRow{
+			{Label: "duplicate", Value: 1.9},
+			{Label: "8-way banked", Value: 1.8},
+			{Label: "single port", Value: 1.5},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"IPC by organization", "duplicate", "1.900", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bar chart missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	bars := map[string]int{}
+	for _, ln := range lines[1:] {
+		parts := strings.SplitN(ln, "|", 2)
+		if len(parts) == 2 {
+			bars[strings.TrimSpace(parts[0])] = strings.Count(parts[1], "=")
+		}
+	}
+	if bars["duplicate"] <= bars["single port"] {
+		t.Errorf("bigger value must get longer bar: %v", bars)
+	}
+}
+
+func TestBarChartEmptyAndNegative(t *testing.T) {
+	if !strings.Contains((&BarChart{}).Render(), "(no data)") {
+		t.Error("empty bar chart must say so")
+	}
+	c := &BarChart{Rows: []BarRow{{Label: "neg", Value: -1}}}
+	if out := c.Render(); !strings.Contains(out, "neg") {
+		t.Errorf("negative values must render without panic:\n%s", out)
+	}
+}

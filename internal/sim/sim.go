@@ -1,0 +1,214 @@
+// Package sim assembles complete simulations: a synthetic benchmark
+// feeding the dynamic superscalar core attached to a configured memory
+// hierarchy. It also provides the cycle-time scaling used by the
+// execution-time study (Figure 9), where the secondary cache and main
+// memory have fixed physical latencies (50 ns, 300 ns) that translate
+// into more processor cycles as the processor gets faster.
+package sim
+
+import (
+	"fmt"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/fo4"
+	"hbcache/internal/mem"
+	"hbcache/internal/workload"
+)
+
+// Config is one simulation run.
+type Config struct {
+	Benchmark string
+	Seed      uint64
+
+	CPU    cpu.Config
+	Memory mem.SystemConfig
+
+	// PrewarmInsts instructions are streamed through the cache tag
+	// arrays (no timing) before simulation so the measured window sees
+	// steady-state miss rates, standing in for the paper's >100M
+	// instruction runs. WarmupInsts then retire on the timing model
+	// before counters reset, and MeasureInsts are measured.
+	PrewarmInsts uint64
+	WarmupInsts  uint64
+	MeasureInsts uint64
+}
+
+// DefaultWarmup and DefaultMeasure size the measurement window. The
+// paper ran >100M instructions per benchmark on MXS; these defaults keep
+// full design-space sweeps tractable while leaving miss rates and IPC
+// stable to well under the effects being measured. Raise them via
+// Config for higher-fidelity runs.
+const (
+	DefaultPrewarm = 800_000
+	DefaultWarmup  = 30_000
+	DefaultMeasure = 300_000
+)
+
+// Result carries the measurements of one run.
+type Result struct {
+	Benchmark    string
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	// MissesPerInst counts primary-cache load and store misses per
+	// retired instruction (Figure 3's metric).
+	MissesPerInst float64
+	// LineBufferHitRate is line-buffer hits per load, 0 without one.
+	LineBufferHitRate float64
+	// BranchAccuracy is the predictor's correct fraction.
+	BranchAccuracy float64
+	// MeanLoadLatency is the average load issue-to-data latency.
+	MeanLoadLatency float64
+
+	CPUStats cpu.Stats
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (Result, error) {
+	gen, err := workload.New(cfg.Benchmark, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := mem.NewSystem(cfg.Memory)
+	if err != nil {
+		return Result{}, err
+	}
+	prewarm, warmup, measure := cfg.PrewarmInsts, cfg.WarmupInsts, cfg.MeasureInsts
+	if prewarm == 0 {
+		prewarm = DefaultPrewarm
+	}
+	if warmup == 0 {
+		warmup = DefaultWarmup
+	}
+	if measure == 0 {
+		measure = DefaultMeasure
+	}
+
+	// Pre-warm to steady state, standing in for the paper's
+	// >100M-instruction runs. First every region is swept through the
+	// tag arrays so anything that fits some level is resident (in a
+	// long run a streamed array settles into whatever second-level
+	// capacity it fits); then the generator's own prefix replays to
+	// restore hot-set recency, and the same, already-advanced generator
+	// feeds the core — the measured window must not re-walk stream
+	// prefixes the timing model never fetched.
+	for _, region := range gen.Regions() {
+		for off := uint64(0); off < region.Bytes; off += 32 {
+			sys.WarmTouch(region.Base + off)
+		}
+	}
+	for i := uint64(0); i < prewarm; i++ {
+		inst, _ := gen.Next()
+		if inst.Op.IsMem() {
+			sys.WarmTouch(inst.Addr)
+		}
+	}
+	core, err := cpu.New(cfg.CPU, gen, sys.L1)
+	if err != nil {
+		return Result{}, err
+	}
+
+	core.Run(warmup)
+	preLoads := sys.L1.Loads()
+	preLoadMiss := sys.L1.LoadMisses()
+	preStoreMiss := sys.L1.StoreMisses()
+	preLB := uint64(0)
+	if lb := sys.L1.LineBuffer(); lb != nil {
+		preLB = lb.Hits()
+	}
+	core.ResetStats()
+
+	s := core.Run(measure)
+
+	res := Result{
+		Benchmark:       cfg.Benchmark,
+		Cycles:          s.Cycles,
+		Instructions:    s.Retired,
+		IPC:             s.IPC(),
+		BranchAccuracy:  core.Predictor().Accuracy(),
+		MeanLoadLatency: s.MeanLoadLatency(),
+		CPUStats:        s,
+	}
+	if s.Retired > 0 {
+		misses := (sys.L1.LoadMisses() - preLoadMiss) + (sys.L1.StoreMisses() - preStoreMiss)
+		res.MissesPerInst = float64(misses) / float64(s.Retired)
+	}
+	if lb := sys.L1.LineBuffer(); lb != nil {
+		loads := sys.L1.Loads() - preLoads
+		if loads > 0 {
+			res.LineBufferHitRate = float64(lb.Hits()-preLB) / float64(loads)
+		}
+	}
+	return res, nil
+}
+
+// ScaledSRAMSystem builds the SRAM memory system for a processor with
+// the given cycle time in FO4: the L2's 50 ns and memory's 300 ns are
+// converted to cycles, and the buses' bytes-per-cycle shrink as the
+// cycle shortens. This is the configuration Figure 9 sweeps.
+func ScaledSRAMSystem(l1Bytes, l1HitCycles int, ports mem.PortConfig, lineBuffer bool, cycleFO4 float64) mem.SystemConfig {
+	cfg := mem.DefaultSRAMSystem(l1Bytes, l1HitCycles, ports, lineBuffer)
+	cfg.CycleNs = fo4.CycleNs(cycleFO4)
+	l2 := mem.DefaultL2Config(fo4.CyclesForNs(50, cycleFO4))
+	cfg.L2 = &l2
+	cfg.MemoryLatencyCycles = fo4.CyclesForNs(300, cycleFO4)
+	return cfg
+}
+
+// ExecutionTimeNs converts a run at a given cycle time into nanoseconds
+// per instruction, the paper's execution-time metric (modulo benchmark
+// instruction count, which cancels under normalization).
+func ExecutionTimeNs(r Result, cycleFO4 float64) float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) * fo4.CycleNs(cycleFO4) / float64(r.Instructions)
+}
+
+// MissRatePoint measures misses per instruction for a single-ported
+// baseline cache of the given size without the processor model: the
+// generator's memory references stream directly through a two-way
+// 32-byte-line tag array (Figure 3's configuration). Returns misses per
+// instruction.
+func MissRatePoint(benchmark string, seed uint64, cacheBytes int, insts uint64) (float64, error) {
+	gen, err := workload.New(benchmark, seed)
+	if err != nil {
+		return 0, err
+	}
+	array, err := mem.NewArray(cacheBytes, 32, 2)
+	if err != nil {
+		return 0, err
+	}
+	if insts == 0 {
+		insts = DefaultMeasure
+	}
+	// Warm until even rarely-revisited cool data has been touched:
+	// Figure 3 is a steady-state metric and the paper ran >100M
+	// instructions per point, so first-touch misses must not be
+	// charged to the measurement window.
+	warm := insts
+	if warm < 2_000_000 {
+		warm = 2_000_000
+	}
+	var misses, counted uint64
+	for i := uint64(0); i < insts+warm; i++ {
+		inst, _ := gen.Next()
+		if i == warm {
+			misses = 0
+			counted = 0
+		}
+		counted++
+		if !inst.Op.IsMem() {
+			continue
+		}
+		if !array.Lookup(inst.Addr) {
+			array.Fill(inst.Addr)
+			misses++
+		}
+	}
+	if counted == 0 {
+		return 0, fmt.Errorf("sim: no instructions measured")
+	}
+	return float64(misses) / float64(counted), nil
+}

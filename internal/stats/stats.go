@@ -1,0 +1,281 @@
+// Package stats provides the light-weight counters, distributions, and
+// table formatting shared by the simulator and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns c / d as a float, or 0 when d is zero.
+func Ratio(c, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(c) / float64(d)
+}
+
+// Distribution accumulates samples and reports summary statistics. It
+// stores only moments and extrema, so it is O(1) per sample.
+type Distribution struct {
+	n          uint64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one sample.
+func (d *Distribution) Add(x float64) {
+	if d.n == 0 || x < d.min {
+		d.min = x
+	}
+	if d.n == 0 || x > d.max {
+		d.max = x
+	}
+	d.n++
+	d.sum += x
+	d.sumSq += x * x
+}
+
+// N returns the sample count.
+func (d *Distribution) N() uint64 { return d.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (d *Distribution) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (d *Distribution) Min() float64 { return d.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (d *Distribution) Max() float64 { return d.max }
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two samples.
+func (d *Distribution) StdDev() float64 {
+	if d.n < 2 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.sumSq/float64(d.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Histogram counts samples in integer buckets (e.g. instructions retired
+// per cycle, MSHR occupancy). Values beyond the top bucket saturate into
+// it.
+type Histogram struct {
+	buckets []uint64
+}
+
+// NewHistogram returns a histogram with buckets for values 0..max.
+func NewHistogram(max int) *Histogram {
+	return &Histogram{buckets: make([]uint64, max+1)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+}
+
+// Bucket returns the count of samples with value v.
+func (h *Histogram) Bucket(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, b := range h.buckets {
+		t += b
+	}
+	return t
+}
+
+// Mean returns the weighted mean bucket value.
+func (h *Histogram) Mean() float64 {
+	var t, s uint64
+	for v, b := range h.buckets {
+		t += b
+		s += uint64(v) * b
+	}
+	if t == 0 {
+		return 0
+	}
+	return float64(s) / float64(t)
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive values.
+// The paper reports "the average of the nine benchmarks"; for normalized
+// performance numbers the geometric mean is the conventional choice.
+func GeoMean(xs []float64) float64 {
+	var s float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Table formats aligned text tables for the experiment reports.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells, one format per cell value.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case uint64:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of m in sorted order; handy for
+// deterministic report output.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

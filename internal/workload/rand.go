@@ -1,0 +1,77 @@
+// Package workload synthesizes the dynamic instruction streams of the
+// paper's nine benchmarks. The original study ran SPEC95 and SimOS
+// multiprogramming workloads (with operating system references) under
+// MXS; neither the binaries, IRIX, nor SimOS are reproducible here, so
+// each benchmark is modeled by a parameterized generator that matches
+// the properties the experiments actually consume:
+//
+//   - the load/store fractions of the instruction stream (Table 2),
+//   - the kernel/user split of the paper's Table 2 (kernel references go
+//     to a separate, OS-flavoured part of the address space),
+//   - the dependence structure (floating point codes expose far more
+//     instruction-level parallelism than integer codes),
+//   - branch density and predictability (loop-closing branches that a
+//     two-bit predictor learns, plus data-dependent branches),
+//   - and, most importantly, memory locality: a mixture of streamed,
+//     hot-set, uniformly random, and pointer-chasing regions sized per
+//     benchmark so that the miss-rate-versus-cache-size curves have the
+//     Figure 3 character of their group (integer codes have small
+//     working sets, multiprogramming codes large ones, floating point
+//     codes streaming behaviour with sharp cliffs).
+package workload
+
+// Rand is a small deterministic xorshift64* generator. The simulator
+// must be reproducible run to run, so all randomness flows from
+// explicitly seeded instances of this type (never math/rand's global
+// state).
+type Rand struct {
+	s uint64
+}
+
+// NewRand returns a generator seeded with seed (zero is remapped, since
+// xorshift has a zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Geometric returns a sample from a geometric distribution with the
+// given mean (>= 1): the number of Bernoulli trials up to and including
+// the first success with p = 1/mean. The result is always at least 1.
+func (r *Rand) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for r.Float64() > p && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,211 @@
+package workload
+
+import "fmt"
+
+// Pattern selects how addresses are drawn within a memory region.
+type Pattern int
+
+const (
+	// Stream walks the region sequentially with a fixed stride,
+	// wrapping at the end — array traversals in floating point codes.
+	// A stream touches each cache line once per pass, so it misses at
+	// line-granularity in any cache smaller than the region and stops
+	// missing entirely once the region fits.
+	Stream Pattern = iota
+	// Hot draws addresses with a strong skew toward the front of the
+	// region (an exponential mixture of prefix sizes), modeling the
+	// hot-and-cold behaviour of integer codes: miss rate falls smoothly
+	// as growing caches capture successively cooler subsets.
+	Hot
+	// Uniform draws addresses uniformly over the region — large hash
+	// tables and database buffer pools. Hit ratio grows roughly
+	// linearly with the fraction of the region that fits.
+	Uniform
+	// Chase draws addresses uniformly but serializes consecutive
+	// accesses through a load-to-load dependence (pointer chasing in
+	// heaps and linked structures).
+	Chase
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Stream:
+		return "stream"
+	case Hot:
+		return "hot"
+	case Uniform:
+		return "uniform"
+	case Chase:
+		return "chase"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Region is one component of a benchmark's synthetic address space.
+type Region struct {
+	Name    string
+	Bytes   uint64
+	Weight  float64 // relative probability a memory reference targets this region
+	Pattern Pattern
+	Stride  uint64 // Stream stride in bytes; defaults to 8
+
+	// HotBytes is the size of the heavily reused prefix for Hot/Chase
+	// regions (defaults to Bytes/16). References concentrate there with
+	// an exponential skew, so even very small caches capture most of
+	// them.
+	HotBytes uint64
+	// ColdFrac is the probability a Hot/Chase reference instead falls
+	// uniformly over the whole region (default 0.1). This produces the
+	// smooth miss-rate decline with cache size: a cache holding
+	// fraction f of the region converts roughly f of the cold
+	// references into hits.
+	ColdFrac float64
+
+	base   uint64
+	cursor uint64
+}
+
+// hotChunkBytes is the spatial granularity of the hot set. Hot data is
+// not contiguous in a real address space — it is the popular fields of
+// many scattered objects — so the generator scatters the hot set across
+// the region in chunks of this size. The scattering is what gives long
+// cache lines (the DRAM row-buffer cache's 512-byte lines) their
+// conflict-miss problem: a hot set that fits a 16 KB cache with 32-byte
+// lines touches far more distinct 512-byte lines than a contiguous
+// prefix would.
+const hotChunkBytes = 128
+
+// scatterChunk maps a hot-set chunk index to a stable pseudo-random
+// chunk slot within the region, keyed by the region's base address.
+func (rg *Region) scatterChunk(chunk uint64) uint64 {
+	slots := rg.Bytes / hotChunkBytes
+	if slots <= 1 {
+		return 0
+	}
+	x := chunk*0x9E3779B97F4A7C15 ^ rg.base
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x % slots
+}
+
+// accessGranularity aligns all generated addresses.
+const accessGranularity = 8
+
+// hotLevels bounds the exponential prefix mixture of the Hot pattern:
+// the hottest span is HotBytes >> (hotLevels-1). Six levels balance two
+// calibration targets: the innermost span must not be so tiny that the
+// 1 KB line buffer swallows nearly every reference (published
+// line-buffer hit rates are 50-70% of loads, not 85%+), and the skew
+// must stay strong enough that 4 KB caches keep the paper's modest
+// small-cache miss rates.
+const hotLevels = 6
+
+// next draws the next address in the region.
+func (rg *Region) next(r *Rand) uint64 {
+	switch rg.Pattern {
+	case Stream:
+		stride := rg.Stride
+		if stride == 0 {
+			stride = accessGranularity
+		}
+		a := rg.base + rg.cursor
+		rg.cursor += stride
+		if rg.cursor >= rg.Bytes {
+			rg.cursor = 0
+		}
+		return a
+	case Hot, Chase:
+		// Two-component mixture. With probability ColdFrac the
+		// reference falls uniformly over the whole region (cool data:
+		// this is what large caches progressively capture). Otherwise
+		// it lands in the hot prefix with an exponential skew toward
+		// the front, so small caches capture most of it. Chase shares
+		// the distribution (linked structures have hot spines) but is
+		// additionally serialized by the generator's dependences.
+		cold := rg.ColdFrac
+		if cold == 0 {
+			cold = 0.1
+		}
+		if r.Bool(cold) {
+			return rg.base + uint64(r.Intn(int(rg.Bytes/accessGranularity)))*accessGranularity
+		}
+		hot := rg.HotBytes
+		if hot == 0 {
+			hot = rg.Bytes / 16
+		}
+		if hot < accessGranularity {
+			hot = accessGranularity
+		}
+		span := hot >> (hotLevels - 1)
+		if span < accessGranularity {
+			span = accessGranularity
+		}
+		for span < hot && r.Bool(0.5) {
+			span <<= 1
+		}
+		if span > hot {
+			span = hot
+		}
+		off := uint64(r.Intn(int(span/accessGranularity))) * accessGranularity
+		// Scatter the hot set across the region at chunk granularity so
+		// hot bytes are spread over many cache lines, as real heaps are.
+		pos := rg.scatterChunk(off/hotChunkBytes)*hotChunkBytes + off%hotChunkBytes
+		return rg.base + pos%rg.Bytes
+	case Uniform:
+		return rg.base + uint64(r.Intn(int(rg.Bytes/accessGranularity)))*accessGranularity
+	default:
+		return rg.base
+	}
+}
+
+// layout assigns non-overlapping base addresses to regions, separating
+// user and kernel halves of the synthetic physical address space. Bases
+// are staggered across cache sets (a real address space does not align
+// every object to the same set); without the stagger every region's hot
+// prefix would collide in the lowest-index sets of small caches and
+// conflict misses would swamp the capacity behaviour being modeled.
+func layout(user, kernel []*Region) {
+	const userBase = 0x0000_0000_1000_0000
+	const kernelBase = 0x0000_8000_0000_0000
+	const guard = 1 << 20
+	stagger := func(i int) uint64 {
+		return uint64(i) * 10400 * 32 % (1 << 20) // line-aligned, spread over 1 MB of sets
+	}
+	base := uint64(userBase)
+	for i, rg := range user {
+		rg.base = base + stagger(i)
+		base = rg.base + align(rg.Bytes) + guard
+	}
+	base = kernelBase
+	for i, rg := range kernel {
+		rg.base = base + stagger(i+3)
+		base = rg.base + align(rg.Bytes) + guard
+	}
+}
+
+func align(b uint64) uint64 {
+	const a = 1 << 12
+	return (b + a - 1) &^ (a - 1)
+}
+
+// pick chooses a region by weight.
+func pick(r *Rand, regions []*Region, totalWeight float64) *Region {
+	x := r.Float64() * totalWeight
+	for _, rg := range regions {
+		x -= rg.Weight
+		if x < 0 {
+			return rg
+		}
+	}
+	return regions[len(regions)-1]
+}
+
+func totalWeight(regions []*Region) float64 {
+	var t float64
+	for _, rg := range regions {
+		t += rg.Weight
+	}
+	return t
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hbcache/internal/isa"
+)
+
+func TestStreamWithColumnStride(t *testing.T) {
+	rg := &Region{Bytes: 64 << 10, Pattern: Stream, Stride: 4104, base: 0}
+	r := NewRand(3)
+	prev := rg.next(r)
+	for i := 0; i < 100; i++ {
+		cur := rg.next(r)
+		if cur >= 64<<10 {
+			t.Fatalf("address %#x escaped the region", cur)
+		}
+		if cur != prev+4104 && cur >= prev {
+			t.Fatalf("stride broken: %#x after %#x", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestColumnStrideTouchesManyLines(t *testing.T) {
+	// Consecutive column-sweep references must land in different 512-byte
+	// rows — that is the property that punishes long cache lines.
+	rg := &Region{Bytes: 512 << 10, Pattern: Stream, Stride: 4104, base: 0}
+	r := NewRand(4)
+	rows := map[uint64]bool{}
+	const n = 100
+	for i := 0; i < n; i++ {
+		rows[rg.next(r)/512] = true
+	}
+	if len(rows) < n*9/10 {
+		t.Errorf("column sweep touched only %d distinct rows in %d refs", len(rows), n)
+	}
+}
+
+func TestHotScatteringSpreadsRows(t *testing.T) {
+	// The hot set must be scattered: its references must touch far more
+	// distinct 512-byte rows than a contiguous prefix would.
+	rg := &Region{Bytes: 256 << 10, Pattern: Hot, HotBytes: 8 << 10, ColdFrac: 0, base: 0}
+	r := NewRand(5)
+	rows := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		rows[rg.next(r)/512] = true
+	}
+	// A contiguous 8 KB prefix would span 16 rows; scattering must
+	// spread the chunks much wider.
+	if len(rows) < 30 {
+		t.Errorf("hot set spans only %d rows; scattering broken", len(rows))
+	}
+}
+
+func TestColdFracControlsTail(t *testing.T) {
+	// With ColdFrac 0.5, about half the references fall outside the hot
+	// chunks; with ColdFrac ~0, almost none do (statistically: compare
+	// distinct-line footprints).
+	foot := func(coldFrac float64) int {
+		rg := &Region{Bytes: 1 << 20, Pattern: Hot, HotBytes: 4 << 10, ColdFrac: coldFrac, base: 0}
+		r := NewRand(6)
+		lines := map[uint64]bool{}
+		for i := 0; i < 30000; i++ {
+			lines[rg.next(r)/32] = true
+		}
+		return len(lines)
+	}
+	hotOnly := foot(0.001)
+	half := foot(0.5)
+	if half < hotOnly*3 {
+		t.Errorf("ColdFrac 0.5 footprint (%d lines) must dwarf hot-only (%d)", half, hotOnly)
+	}
+}
+
+func TestLayoutStaggersAndSeparates(t *testing.T) {
+	user := []*Region{{Bytes: 4096}, {Bytes: 4096}, {Bytes: 4096}}
+	kern := []*Region{{Bytes: 4096}}
+	layout(user, kern)
+	// No overlaps, ascending, staggered set offsets.
+	for i := 1; i < len(user); i++ {
+		if user[i].base <= user[i-1].base+user[i-1].Bytes {
+			t.Fatalf("regions overlap: %#x after %#x", user[i].base, user[i-1].base)
+		}
+	}
+	offsets := map[uint64]bool{}
+	for _, rg := range user {
+		offsets[rg.base%4096] = true
+	}
+	if len(offsets) < 2 {
+		t.Error("region bases must be staggered across cache sets")
+	}
+	if kern[0].base < 0x8000_0000_0000 {
+		t.Error("kernel regions must live in the kernel half")
+	}
+}
+
+func TestLoadsClusterAtBodyTops(t *testing.T) {
+	// Generated loop bodies must front-load their loads: the mean
+	// position of loads within a body should be earlier than the mean
+	// position of stores.
+	g := MustNew("gcc", 21)
+	// Walk instructions tracking position within the current static
+	// body by PC offset.
+	var loadPos, storePos, loads, stores float64
+	for i := 0; i < 50000; i++ {
+		inst, _ := g.Next()
+		off := float64(inst.PC & 0xFFF)
+		switch inst.Op {
+		case isa.Load:
+			loadPos += off
+			loads++
+		case isa.Store:
+			storePos += off
+			stores++
+		}
+	}
+	if loads == 0 || stores == 0 {
+		t.Fatal("no memory operations generated")
+	}
+	if loadPos/loads >= storePos/stores {
+		t.Errorf("loads (mean offset %.1f) must precede stores (%.1f)", loadPos/loads, storePos/stores)
+	}
+}
+
+func TestRegionsAccessorCoversAllRegions(t *testing.T) {
+	g := MustNew("database", 1)
+	infos := g.Regions()
+	m, _ := ModelFor("database")
+	want := len(m.Regions) + len(m.KernelRegions)
+	if len(infos) != want {
+		t.Fatalf("Regions() = %d entries, want %d", len(infos), want)
+	}
+	kernelSeen := false
+	for _, ri := range infos {
+		if ri.Bytes == 0 {
+			t.Errorf("region %s has zero size", ri.Name)
+		}
+		if ri.Kernel {
+			kernelSeen = true
+		}
+	}
+	if !kernelSeen {
+		t.Error("kernel regions missing from Regions()")
+	}
+}
+
+// Property: region addresses never escape their region for any pattern.
+func TestRegionAddressBoundsProperty(t *testing.T) {
+	f := func(seed uint64, patSel uint8, sizeSel uint8) bool {
+		sizes := []uint64{4 << 10, 64 << 10, 1 << 20}
+		rg := &Region{
+			Bytes:   sizes[int(sizeSel)%3],
+			Pattern: Pattern(int(patSel) % 4),
+			Stride:  8,
+			base:    0x10000,
+		}
+		r := NewRand(seed)
+		for i := 0; i < 500; i++ {
+			a := rg.next(r)
+			if a < rg.base || a >= rg.base+rg.Bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the generator never emits a memory op with a zero size or a
+// non-memory op with an address region set.
+func TestGeneratorInstWellFormedProperty(t *testing.T) {
+	for _, name := range []string{"gcc", "tomcatv", "database"} {
+		g := MustNew(name, 99)
+		for i := 0; i < 20000; i++ {
+			inst, ok := g.Next()
+			if !ok {
+				t.Fatal("generator must be unbounded")
+			}
+			if inst.Op.IsMem() && inst.Size == 0 {
+				t.Fatalf("%s: memory op with zero size", name)
+			}
+			if inst.Op == isa.Branch && inst.Dst != isa.NoReg {
+				t.Fatalf("%s: branch with a destination register", name)
+			}
+		}
+	}
+}
