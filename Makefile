@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fmt verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# The runner and simulator are the concurrency-sensitive packages; run
+# them under the race detector in addition to the plain suite.
+race:
+	$(GO) test -race ./internal/runner ./internal/sim
+
+verify: build vet fmt race test
+	@echo "verify: OK"
+
+bench:
+	$(GO) test -bench=. -benchmem

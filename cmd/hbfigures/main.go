@@ -11,27 +11,49 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
-	"time"
 
 	"hbcache/internal/experiments"
+	"hbcache/internal/runner"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment name (fig1, table2, fig3..fig9, ports, best, ablations) or 'all'")
-		csv     = flag.Bool("csv", false, "emit CSV")
-		doPlot  = flag.Bool("plot", false, "render an ASCII chart instead of a table (fig1, fig3, fig8, fig9)")
-		quickly = flag.Bool("quick", false, "low-fidelity windows (fast, noisier)")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: the experiment's paper set)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
+		exp      = flag.String("exp", "", "experiment name (fig1, table2, fig3..fig9, ports, best, ablations) or 'all'")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		doPlot   = flag.Bool("plot", false, "render an ASCII chart instead of a table (fig1, fig3, fig8, fig9)")
+		quickly  = flag.Bool("quick", false, "low-fidelity windows (fast, noisier)")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: the experiment's paper set)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		workers  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
+		progress = flag.Bool("progress", false, "report live progress on stderr")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Seed: *seed}
+	opts := runner.Options{Workers: *workers, CacheDir: *cacheDir}
+	if *progress {
+		opts.OnProgress = func(m runner.Metrics) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d sims, %d cache hits, %.1f sims/s ", m.Done, m.Submitted, m.CacheHits, m.Rate())
+		}
+	}
+	r, err := runner.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hbfigures:", err)
+		os.Exit(1)
+	}
+	// Ctrl-C cancels cleanly: in-flight simulations drain, and with
+	// -cache-dir set, finished points are already checkpointed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := experiments.Options{Seed: *seed, Runner: r, Context: ctx}
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -57,8 +79,11 @@ func main() {
 	}
 
 	run := func(e experiments.Experiment) {
-		start := time.Now()
+		before := r.Metrics()
 		tbl, err := e.Run(opt)
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hbfigures: %s: %v\n", e.Name, err)
 			os.Exit(1)
@@ -67,7 +92,15 @@ func main() {
 			fmt.Print(tbl.CSV())
 			return
 		}
-		fmt.Printf("== %s\n   %s\n   (%.1fs)\n\n", e.Title, e.Description, time.Since(start).Seconds())
+		// Per-experiment cost comes from the shared runner's metric
+		// deltas: what this experiment simulated versus replayed from
+		// the cache (on disk or deduplicated in memory).
+		after := r.Metrics()
+		fmt.Printf("== %s\n   %s\n   (%d sims, %d cached, %.1fs)\n\n",
+			e.Title, e.Description,
+			after.Simulated-before.Simulated,
+			(after.CacheHits+after.MemoHits)-(before.CacheHits+before.MemoHits),
+			(after.Elapsed - before.Elapsed).Seconds())
 		fmt.Println(tbl.String())
 	}
 

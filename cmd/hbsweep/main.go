@@ -2,85 +2,180 @@
 // row per configuration — the tool for custom studies beyond the
 // paper's figures.
 //
+// Points execute in parallel across -j workers (default: all CPUs) but
+// rows are always emitted in sweep order, so the CSV is byte-identical
+// at any worker count. With -cache-dir set, completed points are
+// checkpointed to a content-addressed store: re-running an identical
+// sweep (or resuming one interrupted with Ctrl-C) replays finished
+// points from disk instead of re-simulating them.
+//
 // Examples:
 //
 //	hbsweep -bench gcc,tomcatv -sizes 8K,32K,128K -hits 1,2 -ports duplicate,banked8
 //	hbsweep -bench all -sizes 32K -hits 1 -ports duplicate -lb both -cycle 20
 //	hbsweep -bench database -sizes 4K,16K,64K,256K,1M -hits 1,2,3 -ports ideal2 > sweep.csv
+//	hbsweep -bench all -sizes 4K,8K,16K,32K,64K -hits 1,2,3 -j 16 -cache-dir ~/.hbcache -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"hbcache/internal/cpu"
 	"hbcache/internal/mem"
+	"hbcache/internal/runner"
 	"hbcache/internal/sim"
 	"hbcache/internal/workload"
 )
 
+// sweepSpec is a fully parsed sweep: the cartesian design space plus
+// execution knobs.
+type sweepSpec struct {
+	benches []string
+	sizes   []int
+	hits    []int
+	ports   []mem.PortConfig
+	lbs     []bool
+	cycle   float64
+	seed    uint64
+	prewarm uint64
+	warmup  uint64
+	insts   uint64
+
+	workers  int
+	cacheDir string
+	progress bool
+}
+
 func main() {
 	var (
-		benches = flag.String("bench", "gcc", "comma-separated benchmarks, or 'all'")
-		sizes   = flag.String("sizes", "32K", "comma-separated cache sizes (e.g. 8K,32K,1M)")
-		hits    = flag.String("hits", "1", "comma-separated hit times in cycles")
-		ports   = flag.String("ports", "duplicate", "comma-separated organizations: duplicate, idealN, bankedN")
-		lb      = flag.String("lb", "on", "line buffer: on, off, or both")
-		cycle   = flag.Float64("cycle", 25, "processor cycle time in FO4")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		insts   = flag.Uint64("insts", sim.DefaultMeasure, "measured instructions per point")
+		benches  = flag.String("bench", "gcc", "comma-separated benchmarks, or 'all'")
+		sizes    = flag.String("sizes", "32K", "comma-separated cache sizes (e.g. 8K,32K,1M)")
+		hits     = flag.String("hits", "1", "comma-separated hit times in cycles")
+		ports    = flag.String("ports", "duplicate", "comma-separated organizations: duplicate, idealN, bankedN")
+		lb       = flag.String("lb", "on", "line buffer: on, off, or both")
+		cycle    = flag.Float64("cycle", 25, "processor cycle time in FO4")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		prewarm  = flag.Uint64("prewarm", 0, "prewarm instructions per point (0 = sim default)")
+		warmup   = flag.Uint64("warmup", 0, "timed warm-up instructions per point (0 = sim default)")
+		insts    = flag.Uint64("insts", sim.DefaultMeasure, "measured instructions per point")
+		workers  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
+		progress = flag.Bool("progress", false, "report progress on stderr while the sweep runs")
 	)
 	flag.Parse()
 
-	benchList, err := parseBenches(*benches)
-	if err != nil {
+	spec := sweepSpec{
+		cycle:    *cycle,
+		seed:     *seed,
+		prewarm:  *prewarm,
+		warmup:   *warmup,
+		insts:    *insts,
+		workers:  *workers,
+		cacheDir: *cacheDir,
+		progress: *progress,
+	}
+	var err error
+	if spec.benches, err = parseBenches(*benches); err != nil {
 		fatal(err)
 	}
-	sizeList, err := parseList(*sizes, parseSize)
-	if err != nil {
+	if spec.sizes, err = parseList(*sizes, parseSize); err != nil {
 		fatal(err)
 	}
-	hitList, err := parseList(*hits, strconv.Atoi)
-	if err != nil {
+	if spec.hits, err = parseList(*hits, strconv.Atoi); err != nil {
 		fatal(err)
 	}
-	portList, err := parseList(*ports, parsePorts)
-	if err != nil {
+	if spec.ports, err = parseList(*ports, parsePorts); err != nil {
 		fatal(err)
 	}
-	lbList, err := parseLB(*lb)
-	if err != nil {
+	if spec.lbs, err = parseLB(*lb); err != nil {
 		fatal(err)
 	}
 
-	fmt.Println("benchmark,size,hit_cycles,ports,line_buffer,cycle_fo4,ipc,exec_ns_per_inst,misses_per_inst,lb_hit_rate,branch_accuracy,mean_load_latency")
-	for _, bench := range benchList {
-		for _, size := range sizeList {
-			for _, hit := range hitList {
-				for _, pc := range portList {
-					for _, useLB := range lbList {
-						res, err := sim.Run(sim.Config{
+	// Ctrl-C cancels cleanly: in-flight points drain, completed points
+	// are already checkpointed to -cache-dir, and the next identical
+	// invocation resumes from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if _, err := runSweep(ctx, os.Stdout, os.Stderr, spec); err != nil {
+		fatal(err)
+	}
+}
+
+// configs expands the sweep's cartesian product in output order.
+func (s sweepSpec) configs() []sim.Config {
+	var cfgs []sim.Config
+	for _, bench := range s.benches {
+		for _, size := range s.sizes {
+			for _, hit := range s.hits {
+				for _, pc := range s.ports {
+					for _, useLB := range s.lbs {
+						cfgs = append(cfgs, sim.Config{
 							Benchmark:    bench,
-							Seed:         *seed,
+							Seed:         s.seed,
 							CPU:          cpu.DefaultConfig(),
-							Memory:       sim.ScaledSRAMSystem(size, hit, pc, useLB, *cycle),
-							MeasureInsts: *insts,
+							Memory:       sim.ScaledSRAMSystem(size, hit, pc, useLB, s.cycle),
+							PrewarmInsts: s.prewarm,
+							WarmupInsts:  s.warmup,
+							MeasureInsts: s.insts,
 						})
-						if err != nil {
-							fatal(err)
-						}
-						fmt.Printf("%s,%d,%d,%s,%v,%g,%.4f,%.4f,%.5f,%.4f,%.4f,%.3f\n",
-							bench, size, hit, portName(pc), useLB, *cycle,
-							res.IPC, sim.ExecutionTimeNs(res, *cycle), res.MissesPerInst,
-							res.LineBufferHitRate, res.BranchAccuracy, res.MeanLoadLatency)
 					}
 				}
 			}
 		}
 	}
+	return cfgs
+}
+
+// runSweep executes the sweep through the runner and writes the CSV to
+// out. Row order follows the cartesian expansion regardless of worker
+// count or completion order. The returned metrics report how the work
+// was satisfied (simulated, cache hits, dedup).
+func runSweep(ctx context.Context, out, errw io.Writer, spec sweepSpec) (runner.Metrics, error) {
+	opts := runner.Options{Workers: spec.workers, CacheDir: spec.cacheDir}
+	if spec.progress {
+		opts.OnProgress = func(m runner.Metrics) {
+			fmt.Fprintf(errw, "\r%d/%d sims, %d cache hits, %.1f sims/s ", m.Done, m.Submitted, m.CacheHits, m.Rate())
+		}
+	}
+	r, err := runner.New(opts)
+	if err != nil {
+		return runner.Metrics{}, err
+	}
+
+	cfgs := spec.configs()
+	jrs, err := r.Run(ctx, cfgs)
+	if spec.progress {
+		fmt.Fprintln(errw)
+	}
+	if err != nil {
+		return r.Metrics(), err
+	}
+	fmt.Fprintln(out, "benchmark,size,hit_cycles,ports,line_buffer,cycle_fo4,ipc,exec_ns_per_inst,misses_per_inst,lb_hit_rate,branch_accuracy,mean_load_latency")
+	for _, jr := range jrs {
+		if jr.Err != nil {
+			return r.Metrics(), jr.Err
+		}
+		res, cfg := jr.Result, jr.Config
+		fmt.Fprintf(out, "%s,%d,%d,%s,%v,%g,%.4f,%.4f,%.5f,%.4f,%.4f,%.3f\n",
+			cfg.Benchmark, cfg.Memory.L1.Bytes, cfg.Memory.L1.HitCycles,
+			portName(cfg.Memory.L1.Ports), cfg.Memory.L1.LineBuffer, spec.cycle,
+			res.IPC, sim.ExecutionTimeNs(res, spec.cycle), res.MissesPerInst,
+			res.LineBufferHitRate, res.BranchAccuracy, res.MeanLoadLatency)
+	}
+	m := r.Metrics()
+	if spec.cacheDir != "" {
+		fmt.Fprintf(errw, "hbsweep: %d points (%d simulated, %d cache hits, %d deduplicated) in %.1fs\n",
+			m.Done, m.Simulated, m.CacheHits, m.MemoHits, m.Elapsed.Seconds())
+	}
+	return m, nil
 }
 
 func parseBenches(s string) ([]string, error) {

@@ -1,10 +1,87 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
 	"testing"
 
 	"hbcache/internal/mem"
 )
+
+// testSpec is a small but non-trivial sweep: two benchmarks, two sizes,
+// two hit times — eight points, enough to exercise worker scheduling.
+func testSpec() sweepSpec {
+	return sweepSpec{
+		benches: []string{"gcc", "tomcatv"},
+		sizes:   []int{8 << 10, 32 << 10},
+		hits:    []int{1, 2},
+		ports:   []mem.PortConfig{{Kind: mem.DuplicatePorts}},
+		lbs:     []bool{true},
+		cycle:   25,
+		seed:    1,
+		prewarm: 10_000,
+		warmup:  1_000,
+		insts:   5_000,
+		workers: 1,
+	}
+}
+
+func sweepCSV(t *testing.T, spec sweepSpec) string {
+	t.Helper()
+	var out bytes.Buffer
+	if _, err := runSweep(context.Background(), &out, io.Discard, spec); err != nil {
+		t.Fatalf("runSweep: %v", err)
+	}
+	return out.String()
+}
+
+// TestSweepDeterministicAcrossWorkers is the determinism regression
+// test: the same sweep must produce byte-identical CSV at -j 1 and -j 8.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := testSpec()
+	spec.workers = 1
+	serial := sweepCSV(t, spec)
+	spec.workers = 8
+	parallel := sweepCSV(t, spec)
+	if serial != parallel {
+		t.Errorf("CSV differs between -j 1 and -j 8:\n-j 1:\n%s\n-j 8:\n%s", serial, parallel)
+	}
+	if n := strings.Count(serial, "\n"); n != 1+8 {
+		t.Errorf("expected header + 8 rows, got %d lines:\n%s", n, serial)
+	}
+}
+
+// TestSweepCacheResume runs the same sweep twice against one -cache-dir:
+// the second run must be satisfied entirely from the cache and still
+// emit identical CSV.
+func TestSweepCacheResume(t *testing.T) {
+	spec := testSpec()
+	spec.workers = 4
+	spec.cacheDir = t.TempDir()
+
+	var out1 bytes.Buffer
+	m1, err := runSweep(context.Background(), &out1, io.Discard, spec)
+	if err != nil {
+		t.Fatalf("first runSweep: %v", err)
+	}
+	if m1.Simulated != 8 || m1.CacheHits != 0 {
+		t.Errorf("first run: Simulated = %d, CacheHits = %d, want 8, 0", m1.Simulated, m1.CacheHits)
+	}
+
+	var out2 bytes.Buffer
+	m2, err := runSweep(context.Background(), &out2, io.Discard, spec)
+	if err != nil {
+		t.Fatalf("second runSweep: %v", err)
+	}
+	if m2.CacheHits != 8 || m2.Simulated != 0 {
+		t.Errorf("second run: CacheHits = %d, Simulated = %d, want 8, 0", m2.CacheHits, m2.Simulated)
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cached run CSV differs from simulated run:\nfirst:\n%s\nsecond:\n%s", out1.String(), out2.String())
+	}
+}
 
 func TestParsePorts(t *testing.T) {
 	cases := map[string]mem.PortConfig{

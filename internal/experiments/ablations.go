@@ -92,6 +92,37 @@ func Extensions() []Experiment {
 	}
 }
 
+// AllWithExtensions returns the paper experiments followed by the
+// extensions.
+func AllWithExtensions() []Experiment {
+	return append(All(), Extensions()...)
+}
+
+// columns runs a benchmark × column grid through the runner in one
+// batch: every benchmark row simulates len(configs(bench)) points, and
+// cell returns the column strings derived from each point's result.
+// It factors the shape shared by most ablations — a table whose rows
+// are benchmarks and whose columns are design variants.
+func columns(o Options, benches []string, configs func(bench string) []sim.Config, cell func(r sim.Result) string) ([][]string, error) {
+	cells := make([][]string, len(benches))
+	b := o.batch()
+	for bi, bench := range benches {
+		cfgs := configs(bench)
+		cells[bi] = make([]string, len(cfgs))
+		for ci, cfg := range cfgs {
+			dst := &cells[bi][ci]
+			b.addConfig(cfg, func(r sim.Result) { *dst = cell(r) })
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// ipcCell renders the standard three-decimal IPC column.
+func ipcCell(r sim.Result) string { return fmt.Sprintf("%.3f", r.IPC) }
+
 // SectoredRowBuffer evaluates the future-work question the paper raises
 // in section 4.4: the DRAM organization could compete "if the
 // performance degradation due to the use of 512 byte lines can be
@@ -99,26 +130,22 @@ func Extensions() []Experiment {
 // sectors) keeps the long-line tag economy while fetching only the
 // 32 bytes a miss needs.
 func SectoredRowBuffer(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "IPC 512B rows", "IPC sectored rows (32B)", "IPC 32B lines")
-	for _, bench := range o.benchmarks(representatives) {
-		plain, err := o.run(bench, mem.CustomDRAMSystemLines(16<<10, 512, 1, 6, true))
-		if err != nil {
-			return nil, err
-		}
+	benches := o.benchmarks(representatives)
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
 		sectCfg := mem.CustomDRAMSystemLines(16<<10, 512, 1, 6, true)
 		sectCfg.L1.SectorBytes = 32
-		sect, err := o.run(bench, sectCfg)
-		if err != nil {
-			return nil, err
+		return []sim.Config{
+			o.config(bench, mem.CustomDRAMSystemLines(16<<10, 512, 1, 6, true)),
+			o.config(bench, sectCfg),
+			o.config(bench, mem.CustomDRAMSystemLines(16<<10, 32, 1, 6, true)),
 		}
-		fine, err := o.run(bench, mem.CustomDRAMSystemLines(16<<10, 32, 1, 6, true))
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(bench,
-			fmt.Sprintf("%.3f", plain.IPC),
-			fmt.Sprintf("%.3f", sect.IPC),
-			fmt.Sprintf("%.3f", fine.IPC))
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("benchmark", "IPC 512B rows", "IPC sectored rows (32B)", "IPC 32B lines")
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -130,26 +157,34 @@ func SectoredRowBuffer(o Options) (*stats.Table, error) {
 // tomcatv, gcc, and database" — both over the same DRAM backing store,
 // both with a line buffer.
 func LineSizeCost(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(representatives)
+	ipcs := make([][]float64, len(benches)) // bench × {fine, coarse}
+	b := o.batch()
+	for bi, bench := range benches {
+		ipcs[bi] = make([]float64, 2)
+		for vi, lineBytes := range []int{32, 512} {
+			dst := &ipcs[bi][vi]
+			b.add(bench, mem.CustomDRAMSystemLines(16<<10, lineBytes, 1, 6, true),
+				func(r sim.Result) { *dst = r.IPC })
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
 	t := stats.NewTable("benchmark", "IPC 32B lines", "IPC 512B lines", "cost of 512B lines", "paper cost")
 	paper := map[string]string{"tomcatv": "17%", "gcc": "6%", "database": "6%"}
-	for _, bench := range o.benchmarks(representatives) {
-		fine, err := o.run(bench, mem.CustomDRAMSystemLines(16<<10, 32, 1, 6, true))
-		if err != nil {
-			return nil, err
-		}
-		coarse, err := o.run(bench, mem.CustomDRAMSystemLines(16<<10, 512, 1, 6, true))
-		if err != nil {
-			return nil, err
-		}
+	for bi, bench := range benches {
+		fine, coarse := ipcs[bi][0], ipcs[bi][1]
 		cost := "-"
-		if coarse.IPC > 0 {
-			cost = fmt.Sprintf("%.1f%%", 100*(fine.IPC/coarse.IPC-1))
+		if coarse > 0 {
+			cost = fmt.Sprintf("%.1f%%", 100*(fine/coarse-1))
 		}
 		p := paper[bench]
 		if p == "" {
 			p = "-"
 		}
-		t.AddRow(bench, fmt.Sprintf("%.3f", fine.IPC), fmt.Sprintf("%.3f", coarse.IPC), cost, p)
+		t.AddRow(bench, fmt.Sprintf("%.3f", fine), fmt.Sprintf("%.3f", coarse), cost, p)
 	}
 	return t, nil
 }
@@ -159,61 +194,57 @@ func LineSizeCost(o Options) (*stats.Table, error) {
 // structures, but the victim buffer catches conflict evictions while
 // the line buffer catches reuse before the cache ports.
 func VictimVsLineBuffer(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "hit", "IPC plain", "IPC +victim(8)", "IPC +LB(32)")
-	for _, bench := range o.benchmarks(representatives) {
-		for _, hit := range []int{1, 3} {
-			plainCfg := mem.DefaultSRAMSystem(32<<10, hit, duplicatePorts, false)
-			plain, err := o.run(bench, plainCfg)
-			if err != nil {
-				return nil, err
-			}
+	benches := o.benchmarks(representatives)
+	hits := []int{1, 3}
+	ipcs := make([][][]string, len(benches)) // bench × hit × {plain, victim, lb}
+	b := o.batch()
+	for bi, bench := range benches {
+		ipcs[bi] = make([][]string, len(hits))
+		for hi, hit := range hits {
+			ipcs[bi][hi] = make([]string, 3)
 			victimCfg := mem.DefaultSRAMSystem(32<<10, hit, duplicatePorts, false)
 			victimCfg.L1.VictimCache = true
-			victim, err := o.run(bench, victimCfg)
-			if err != nil {
-				return nil, err
+			for vi, memory := range []mem.SystemConfig{
+				mem.DefaultSRAMSystem(32<<10, hit, duplicatePorts, false),
+				victimCfg,
+				mem.DefaultSRAMSystem(32<<10, hit, duplicatePorts, true),
+			} {
+				dst := &ipcs[bi][hi][vi]
+				b.add(bench, memory, func(r sim.Result) { *dst = ipcCell(r) })
 			}
-			lb, err := o.run(bench, mem.DefaultSRAMSystem(32<<10, hit, duplicatePorts, true))
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(bench, hitTimeLabel(hit),
-				fmt.Sprintf("%.3f", plain.IPC),
-				fmt.Sprintf("%.3f", victim.IPC),
-				fmt.Sprintf("%.3f", lb.IPC))
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("benchmark", "hit", "IPC plain", "IPC +victim(8)", "IPC +LB(32)")
+	for bi, bench := range benches {
+		for hi, hit := range hits {
+			t.AddRow(append([]string{bench, hitTimeLabel(hit)}, ipcs[bi][hi]...)...)
 		}
 	}
 	return t, nil
-}
-
-// AllWithExtensions returns the paper experiments followed by the
-// extensions.
-func AllWithExtensions() []Experiment {
-	return append(All(), Extensions()...)
 }
 
 // RowBufferHitTime compares one- and two-cycle row-buffer cache hit
 // times for the 6-cycle DRAM organization, with the 16 KB SRAM + L2
 // baseline for reference.
 func RowBufferHitTime(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(representatives)
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
+		return []sim.Config{
+			o.config(bench, mem.DefaultSRAMSystem(16<<10, 1, banked8, true)),
+			o.config(bench, mem.CustomDRAMSystem(16<<10, 1, 6, true)),
+			o.config(bench, mem.CustomDRAMSystem(16<<10, 2, 6, true)),
+		}
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("benchmark", "SRAM 16K 1~ +L2", "DRAM rowbuf 1~", "DRAM rowbuf 2~")
-	for _, bench := range o.benchmarks(representatives) {
-		sram, err := o.run(bench, mem.DefaultSRAMSystem(16<<10, 1, banked8, true))
-		if err != nil {
-			return nil, err
-		}
-		rb1, err := o.run(bench, mem.CustomDRAMSystem(16<<10, 1, 6, true))
-		if err != nil {
-			return nil, err
-		}
-		rb2, err := o.run(bench, mem.CustomDRAMSystem(16<<10, 2, 6, true))
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(bench,
-			fmt.Sprintf("%.3f", sram.IPC),
-			fmt.Sprintf("%.3f", rb1.IPC),
-			fmt.Sprintf("%.3f", rb2.IPC))
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -221,45 +252,49 @@ func RowBufferHitTime(o Options) (*stats.Table, error) {
 // RowBufferSize compares 16 KB and 32 KB row-buffer caches (6-cycle
 // DRAM behind them) against SRAM caches of the same sizes.
 func RowBufferSize(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "SRAM 16K +L2", "DRAM rowbuf 16K", "SRAM 32K +L2", "DRAM rowbuf 32K")
-	for _, bench := range o.benchmarks(representatives) {
-		row := []string{bench}
+	benches := o.benchmarks(representatives)
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
+		var cfgs []sim.Config
 		for _, kb := range []int{16, 32} {
-			sram, err := o.run(bench, mem.DefaultSRAMSystem(kb<<10, 1, banked8, true))
-			if err != nil {
-				return nil, err
-			}
-			dram, err := o.run(bench, mem.CustomDRAMSystem(kb<<10, 1, 6, true))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", sram.IPC), fmt.Sprintf("%.3f", dram.IPC))
+			cfgs = append(cfgs,
+				o.config(bench, mem.DefaultSRAMSystem(kb<<10, 1, banked8, true)),
+				o.config(bench, mem.CustomDRAMSystem(kb<<10, 1, 6, true)))
 		}
-		t.AddRow(row...)
+		return cfgs
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("benchmark", "SRAM 16K +L2", "DRAM rowbuf 16K", "SRAM 32K +L2", "DRAM rowbuf 32K")
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
 
 // MSHRAblation sweeps the number of miss status handling registers.
 func MSHRAblation(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(representatives)
 	counts := []int{1, 2, 4, 8}
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
+		var cfgs []sim.Config
+		for _, n := range counts {
+			cfg := mem.DefaultSRAMSystem(32<<10, 1, duplicatePorts, true)
+			cfg.L1.MSHRs = n
+			cfgs = append(cfgs, o.config(bench, cfg))
+		}
+		return cfgs
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
 	header := []string{"benchmark"}
 	for _, n := range counts {
 		header = append(header, fmt.Sprintf("IPC %d MSHR", n))
 	}
 	t := stats.NewTable(header...)
-	for _, bench := range o.benchmarks(representatives) {
-		row := []string{bench}
-		for _, n := range counts {
-			cfg := mem.DefaultSRAMSystem(32<<10, 1, duplicatePorts, true)
-			cfg.L1.MSHRs = n
-			r, err := o.run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", r.IPC))
-		}
-		t.AddRow(row...)
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -267,7 +302,20 @@ func MSHRAblation(o Options) (*stats.Table, error) {
 // LineBufferSizeAblation sweeps the line buffer's entry count on a
 // three-cycle pipelined cache, where the buffer matters most.
 func LineBufferSizeAblation(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(representatives)
 	sizes := []int{0, 8, 16, 32, 64}
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
+		var cfgs []sim.Config
+		for _, n := range sizes {
+			cfg := mem.DefaultSRAMSystem(32<<10, 3, duplicatePorts, n > 0)
+			cfg.L1.LineBufferEntries = n
+			cfgs = append(cfgs, o.config(bench, cfg))
+		}
+		return cfgs
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
 	header := []string{"benchmark"}
 	for _, n := range sizes {
 		if n == 0 {
@@ -277,18 +325,8 @@ func LineBufferSizeAblation(o Options) (*stats.Table, error) {
 		}
 	}
 	t := stats.NewTable(header...)
-	for _, bench := range o.benchmarks(representatives) {
-		row := []string{bench}
-		for _, n := range sizes {
-			cfg := mem.DefaultSRAMSystem(32<<10, 3, duplicatePorts, n > 0)
-			cfg.L1.LineBufferEntries = n
-			r, err := o.run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", r.IPC))
-		}
-		t.AddRow(row...)
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -296,19 +334,22 @@ func LineBufferSizeAblation(o Options) (*stats.Table, error) {
 // WritePolicyAblation compares write-back and write-through primary
 // caches.
 func WritePolicyAblation(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "IPC write-back", "IPC write-through")
-	for _, bench := range o.benchmarks(representatives) {
-		row := []string{bench}
+	benches := o.benchmarks(representatives)
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
+		var cfgs []sim.Config
 		for _, policy := range []mem.WritePolicy{mem.WriteBack, mem.WriteThrough} {
 			cfg := mem.DefaultSRAMSystem(32<<10, 1, duplicatePorts, true)
 			cfg.L1.Policy = policy
-			r, err := o.run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", r.IPC))
+			cfgs = append(cfgs, o.config(bench, cfg))
 		}
-		t.AddRow(row...)
+		return cfgs
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("benchmark", "IPC write-back", "IPC write-through")
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -316,18 +357,21 @@ func WritePolicyAblation(o Options) (*stats.Table, error) {
 // InterleaveAblation compares line- and word-interleaved eight-way
 // banked caches.
 func InterleaveAblation(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "IPC line-interleaved", "IPC word-interleaved")
-	for _, bench := range o.benchmarks(representatives) {
-		row := []string{bench}
+	benches := o.benchmarks(representatives)
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
+		var cfgs []sim.Config
 		for _, interleave := range []int{32, 8} {
 			ports := mem.PortConfig{Kind: mem.BankedPorts, Count: 8, InterleaveBytes: interleave}
-			r, err := o.run(bench, mem.DefaultSRAMSystem(32<<10, 1, ports, false))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", r.IPC))
+			cfgs = append(cfgs, o.config(bench, mem.DefaultSRAMSystem(32<<10, 1, ports, false)))
 		}
-		t.AddRow(row...)
+		return cfgs
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("benchmark", "IPC line-interleaved", "IPC word-interleaved")
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -336,23 +380,20 @@ func InterleaveAblation(o Options) (*stats.Table, error) {
 // R10000-like functional-unit pool (two integer units, two floating
 // point units, one load/store unit).
 func FUAblation(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "IPC unrestricted", "IPC R10000-like FUs")
-	for _, bench := range o.benchmarks(representatives) {
+	benches := o.benchmarks(representatives)
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
 		memory := mem.DefaultSRAMSystem(32<<10, 1, duplicatePorts, true)
-		free, err := o.run(bench, memory)
-		if err != nil {
-			return nil, err
-		}
-		cfg := cpu.DefaultConfig()
-		cfg.FULimits = &cpu.FULimits{Int: 2, FP: 2, Mem: 1}
-		limited, err := sim.Run(sim.Config{
-			Benchmark: bench, Seed: o.seed(), CPU: cfg, Memory: memory,
-			PrewarmInsts: o.PrewarmInsts, WarmupInsts: o.WarmupInsts, MeasureInsts: o.MeasureInsts,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(bench, fmt.Sprintf("%.3f", free.IPC), fmt.Sprintf("%.3f", limited.IPC))
+		free := o.config(bench, memory)
+		limited := o.config(bench, memory)
+		limited.CPU.FULimits = &cpu.FULimits{Int: 2, FP: 2, Mem: 1}
+		return []sim.Config{free, limited}
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("benchmark", "IPC unrestricted", "IPC R10000-like FUs")
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -360,20 +401,23 @@ func FUAblation(o Options) (*stats.Table, error) {
 // BandwidthAblation sweeps the off-chip bus bandwidths around the
 // paper's 2.5 / 1.6 GByte/s.
 func BandwidthAblation(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "IPC half BW", "IPC paper BW", "IPC double BW")
-	for _, bench := range o.benchmarks(representatives) {
-		row := []string{bench}
+	benches := o.benchmarks(representatives)
+	cells, err := columns(o, benches, func(bench string) []sim.Config {
+		var cfgs []sim.Config
 		for _, scale := range []float64{0.5, 1, 2} {
 			cfg := mem.DefaultSRAMSystem(32<<10, 1, duplicatePorts, true)
 			cfg.ChipBusGBs *= scale
 			cfg.MemBusGBs *= scale
-			r, err := o.run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.3f", r.IPC))
+			cfgs = append(cfgs, o.config(bench, cfg))
 		}
-		t.AddRow(row...)
+		return cfgs
+	}, ipcCell)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("benchmark", "IPC half BW", "IPC paper BW", "IPC double BW")
+	for bi, bench := range benches {
+		t.AddRow(append([]string{bench}, cells[bi]...)...)
 	}
 	return t, nil
 }
@@ -381,23 +425,29 @@ func BandwidthAblation(o Options) (*stats.Table, error) {
 // GshareAblation compares the R10000-style two-bit predictor with a
 // gshare predictor of the same table size.
 func GshareAblation(o Options) (*stats.Table, error) {
-	t := stats.NewTable("benchmark", "IPC bimodal", "accuracy", "IPC gshare", "accuracy (gshare)")
+	benches := o.benchmarks(representatives)
 	memory := mem.DefaultSRAMSystem(32<<10, 1, duplicatePorts, true)
-	for _, bench := range o.benchmarks(representatives) {
-		base, err := o.run(bench, memory)
-		if err != nil {
-			return nil, err
+
+	results := make([][]sim.Result, len(benches)) // bench × {bimodal, gshare}
+	b := o.batch()
+	for bi, bench := range benches {
+		results[bi] = make([]sim.Result, 2)
+		base := o.config(bench, memory)
+		gs := o.config(bench, memory)
+		gs.CPU.Gshare = true
+		gs.CPU.GshareHistoryBits = 9
+		for vi, cfg := range []sim.Config{base, gs} {
+			dst := &results[bi][vi]
+			b.addConfig(cfg, func(r sim.Result) { *dst = r })
 		}
-		cfg := cpu.DefaultConfig()
-		cfg.Gshare = true
-		cfg.GshareHistoryBits = 9
-		gs, err := sim.Run(sim.Config{
-			Benchmark: bench, Seed: o.seed(), CPU: cfg, Memory: memory,
-			PrewarmInsts: o.PrewarmInsts, WarmupInsts: o.WarmupInsts, MeasureInsts: o.MeasureInsts,
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("benchmark", "IPC bimodal", "accuracy", "IPC gshare", "accuracy (gshare)")
+	for bi, bench := range benches {
+		base, gs := results[bi][0], results[bi][1]
 		t.AddRow(bench,
 			fmt.Sprintf("%.3f", base.IPC), fmt.Sprintf("%.1f%%", 100*base.BranchAccuracy),
 			fmt.Sprintf("%.3f", gs.IPC), fmt.Sprintf("%.1f%%", 100*gs.BranchAccuracy))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hbcache/internal/fo4"
+	"hbcache/internal/runner"
 	"hbcache/internal/sim"
 	"hbcache/internal/stats"
 	"hbcache/internal/workload"
@@ -68,23 +69,51 @@ func Table2(o Options) (*stats.Table, error) {
 
 // Figure3 measures misses per instruction for single-ported two-way
 // 32-byte-line caches from 4 KB to 1 MB, per benchmark.
+//
+// Miss-rate points bypass the processor model (and therefore the
+// runner's config-keyed cache), so they fan out across the runner's
+// worker pool directly.
 func Figure3(o Options) (*stats.Table, error) {
+	benches := o.benchmarks(workload.BenchmarkNames())
+	rates, err := missRateGrid(o, benches, fo4.PowerOfTwoSizes())
+	if err != nil {
+		return nil, err
+	}
 	sizes := fo4.PowerOfTwoSizes()
 	header := []string{"benchmark"}
 	for _, s := range sizes {
 		header = append(header, fo4.SizeLabel(s))
 	}
 	t := stats.NewTable(header...)
-	for _, name := range o.benchmarks(workload.BenchmarkNames()) {
+	for bi, name := range benches {
 		row := []string{name}
-		for _, s := range sizes {
-			m, err := sim.MissRatePoint(name, o.seed(), s, o.MeasureInsts)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f%%", 100*m))
+		for si := range sizes {
+			row = append(row, fmt.Sprintf("%.2f%%", 100*rates[bi][si]))
 		}
 		t.AddRow(row...)
 	}
 	return t, nil
+}
+
+// missRateGrid computes MissRatePoint for every benchmark × size in
+// parallel, returning rates indexed [benchmark][size].
+func missRateGrid(o Options, benches []string, sizes []int) ([][]float64, error) {
+	rates := make([][]float64, len(benches))
+	for bi := range rates {
+		rates[bi] = make([]float64, len(sizes))
+	}
+	n := len(benches) * len(sizes)
+	err := runner.Parallel(o.ctx(), o.runner().Workers(), n, func(i int) error {
+		bi, si := i/len(sizes), i%len(sizes)
+		m, err := sim.MissRatePoint(benches[bi], o.seed(), sizes[si], o.MeasureInsts)
+		if err != nil {
+			return err
+		}
+		rates[bi][si] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rates, nil
 }

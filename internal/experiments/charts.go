@@ -42,15 +42,15 @@ func Figure3Chart(o Options) (*plot.LineChart, error) {
 	for _, s := range sizes {
 		labels = append(labels, fo4.SizeLabel(s))
 	}
+	rates, err := missRateGrid(o, benches, sizes)
+	if err != nil {
+		return nil, err
+	}
 	var series []plot.Series
-	for _, bench := range benches {
-		var pts []float64
-		for _, s := range sizes {
-			m, err := sim.MissRatePoint(bench, o.seed(), s, o.MeasureInsts)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, 100*m)
+	for bi, bench := range benches {
+		pts := make([]float64, len(sizes))
+		for si := range sizes {
+			pts[si] = 100 * rates[bi][si]
 		}
 		series = append(series, plot.Series{Name: bench, Points: pts})
 	}
@@ -86,17 +86,22 @@ func Figure8Chart(o Options, bench string) (*plot.LineChart, error) {
 		{"banked 2~", banked8, 2},
 		{"banked 3~", banked8, 3},
 	}
-	var series []plot.Series
-	for _, org := range orgs {
-		var pts []float64
-		for _, s := range sizes {
-			r, err := o.run(bench, mem.DefaultSRAMSystem(s, org.hit, org.ports, true))
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, r.IPC)
+	pts := make([][]float64, len(orgs)) // org × size
+	b := o.batch()
+	for oi, org := range orgs {
+		pts[oi] = make([]float64, len(sizes))
+		for si, s := range sizes {
+			dst := &pts[oi][si]
+			b.add(bench, mem.DefaultSRAMSystem(s, org.hit, org.ports, true),
+				func(r sim.Result) { *dst = r.IPC })
 		}
-		series = append(series, plot.Series{Name: org.label, Points: pts})
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	var series []plot.Series
+	for oi, org := range orgs {
+		series = append(series, plot.Series{Name: org.label, Points: pts[oi]})
 	}
 	return &plot.LineChart{
 		Title:   fmt.Sprintf("Figure 8 (%s): IPC vs cache size, with line buffer", bench),
@@ -112,32 +117,40 @@ func Figure9Chart(o Options, bench string) (*plot.LineChart, error) {
 	if _, err := workload.ModelFor(bench); err != nil {
 		return nil, err
 	}
-	ref, err := o.run(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10))
-	if err != nil {
-		return nil, err
-	}
-	refNs := sim.ExecutionTimeNs(ref, 10)
-	if refNs <= 0 {
-		return nil, fmt.Errorf("experiments: empty reference run for %s", bench)
-	}
 	var labels []string
 	for _, ct := range Figure9CycleTimes {
 		labels = append(labels, fmt.Sprintf("%g", ct))
 	}
-	var series []plot.Series
+	var refNs float64
+	raw := make([][]float64, 3) // depth-1 × cycle time, raw ns until normalized
+	b := o.batch()
+	b.add(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10),
+		func(r sim.Result) { refNs = sim.ExecutionTimeNs(r, 10) })
 	for depth := 1; depth <= 3; depth++ {
-		pts := make([]float64, len(Figure9CycleTimes))
+		raw[depth-1] = make([]float64, len(Figure9CycleTimes))
 		for i, ct := range Figure9CycleTimes {
 			bytes, ok := fo4.MaxCacheBytesFor(fo4.SinglePorted, depth, ct)
 			if !ok {
-				pts[i] = math.NaN()
+				raw[depth-1][i] = math.NaN()
 				continue
 			}
-			r, err := o.run(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct))
-			if err != nil {
-				return nil, err
-			}
-			pts[i] = sim.ExecutionTimeNs(r, ct) / refNs
+			dst := &raw[depth-1][i]
+			ct := ct
+			b.add(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct),
+				func(r sim.Result) { *dst = sim.ExecutionTimeNs(r, ct) })
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	if refNs <= 0 {
+		return nil, fmt.Errorf("experiments: empty reference run for %s", bench)
+	}
+	var series []plot.Series
+	for depth := 1; depth <= 3; depth++ {
+		pts := make([]float64, len(Figure9CycleTimes))
+		for i := range Figure9CycleTimes {
+			pts[i] = raw[depth-1][i] / refNs
 		}
 		series = append(series, plot.Series{Name: fmt.Sprintf("%d-cycle cache (largest that fits)", depth), Points: pts})
 	}

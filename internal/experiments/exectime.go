@@ -27,31 +27,24 @@ var Figure9CycleTimes = []float64{10, 12.5, 15, 17.5, 20, 22.5, 25, 27.5, 30}
 // cache fits the depth.
 func Figure9(o Options) (*stats.Table, error) {
 	benches := o.benchmarks(workload.BenchmarkNames())
-	header := []string{"benchmark", "depth"}
-	for _, ct := range Figure9CycleTimes {
-		header = append(header, fmt.Sprintf("%g FO4", ct))
-	}
-	t := stats.NewTable(header...)
-
-	// Reference run per benchmark: 10 FO4, 32 KB, 3-cycle duplicate.
-	ref := map[string]float64{}
-	for _, bench := range benches {
-		r, err := o.run(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10))
-		if err != nil {
-			return nil, err
-		}
-		ref[bench] = sim.ExecutionTimeNs(r, 10)
-		if ref[bench] <= 0 {
-			return nil, fmt.Errorf("experiments: reference run for %s produced no instructions", bench)
-		}
-	}
 
 	type cell struct {
-		norm  float64
+		ns    float64 // raw execution time, normalized after the batch
 		bytes int
 		valid bool
 	}
+	ref := make([]float64, len(benches))
 	rows := map[string]map[int][]cell{} // bench -> depth -> per cycle time
+
+	// Reference runs and the whole depth × cycle-time grid go through
+	// the runner as a single batch; normalization happens afterwards,
+	// once every raw execution time is in.
+	b := o.batch()
+	for bi, bench := range benches {
+		dst := &ref[bi]
+		b.add(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10),
+			func(r sim.Result) { *dst = sim.ExecutionTimeNs(r, 10) })
+	}
 	for _, bench := range benches {
 		rows[bench] = map[int][]cell{}
 		for depth := 1; depth <= 3; depth++ {
@@ -61,21 +54,39 @@ func Figure9(o Options) (*stats.Table, error) {
 				if !ok {
 					continue
 				}
-				r, err := o.run(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct))
-				if err != nil {
-					return nil, err
-				}
-				cells[i] = cell{norm: sim.ExecutionTimeNs(r, ct) / ref[bench], bytes: bytes, valid: true}
+				dst := &cells[i]
+				b.add(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct),
+					func(r sim.Result) {
+						*dst = cell{ns: sim.ExecutionTimeNs(r, ct), bytes: bytes, valid: true}
+					})
 			}
 			rows[bench][depth] = cells
 		}
 	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+	for bi, bench := range benches {
+		if ref[bi] <= 0 {
+			return nil, fmt.Errorf("experiments: reference run for %s produced no instructions", bench)
+		}
+	}
+	refOf := map[string]float64{}
+	for bi, bench := range benches {
+		refOf[bench] = ref[bi]
+	}
 
-	format := func(c cell) string {
+	header := []string{"benchmark", "depth"}
+	for _, ct := range Figure9CycleTimes {
+		header = append(header, fmt.Sprintf("%g FO4", ct))
+	}
+	t := stats.NewTable(header...)
+
+	format := func(norm float64, c cell) string {
 		if !c.valid {
 			return "-"
 		}
-		return fmt.Sprintf("%.2f (%s)", c.norm, fo4.SizeLabel(c.bytes))
+		return fmt.Sprintf("%.2f (%s)", norm, fo4.SizeLabel(c.bytes))
 	}
 	for _, bench := range benches {
 		if !isRepresentative(bench) && len(benches) > 3 {
@@ -84,7 +95,7 @@ func Figure9(o Options) (*stats.Table, error) {
 		for depth := 1; depth <= 3; depth++ {
 			row := []string{bench, hitTimeLabel(depth)}
 			for _, c := range rows[bench][depth] {
-				row = append(row, format(c))
+				row = append(row, format(c.ns/refOf[bench], c))
 			}
 			t.AddRow(row...)
 		}
@@ -102,14 +113,15 @@ func Figure9(o Options) (*stats.Table, error) {
 						valid = false
 						break
 					}
-					xs = append(xs, c.norm)
+					xs = append(xs, c.ns/refOf[bench])
 					bytes = c.bytes
 				}
 				if !valid {
 					row = append(row, "-")
 					continue
 				}
-				row = append(row, format(cell{norm: stats.GeoMean(xs), bytes: bytes, valid: true}))
+				mean := stats.GeoMean(xs)
+				row = append(row, format(mean, cell{bytes: bytes, valid: true}))
 			}
 			t.AddRow(row...)
 		}
@@ -124,34 +136,59 @@ func Figure9(o Options) (*stats.Table, error) {
 // ~25 FO4; three cycles at 10 FO4).
 func BestConfiguration(o Options) (*stats.Table, error) {
 	benches := o.benchmarks(workload.BenchmarkNames())
-	t := stats.NewTable("cycle time (FO4)", "best depth", "best size", "norm exec time")
-	ref := map[string]float64{}
-	for _, bench := range benches {
-		r, err := o.run(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10))
-		if err != nil {
-			return nil, err
-		}
-		ref[bench] = sim.ExecutionTimeNs(r, 10)
+
+	ref := make([]float64, len(benches))
+	type point struct {
+		bytes int
+		ok    bool
+		ns    []float64 // per benchmark
 	}
-	for _, ct := range Figure9CycleTimes {
-		bestTime := 0.0
-		bestDepth, bestBytes := 0, 0
+	grid := make([][]point, len(Figure9CycleTimes)) // cycle time × depth-1
+
+	b := o.batch()
+	for bi, bench := range benches {
+		dst := &ref[bi]
+		b.add(bench, sim.ScaledSRAMSystem(32<<10, 3, duplicatePorts, true, 10),
+			func(r sim.Result) { *dst = sim.ExecutionTimeNs(r, 10) })
+	}
+	for ci, ct := range Figure9CycleTimes {
+		grid[ci] = make([]point, 3)
 		for depth := 1; depth <= 3; depth++ {
 			bytes, ok := fo4.MaxCacheBytesFor(fo4.SinglePorted, depth, ct)
 			if !ok {
 				continue
 			}
+			p := &grid[ci][depth-1]
+			p.bytes, p.ok = bytes, true
+			p.ns = make([]float64, len(benches))
+			for bi, bench := range benches {
+				dst := &p.ns[bi]
+				ct := ct
+				b.add(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct),
+					func(r sim.Result) { *dst = sim.ExecutionTimeNs(r, ct) })
+			}
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("cycle time (FO4)", "best depth", "best size", "norm exec time")
+	for ci, ct := range Figure9CycleTimes {
+		bestTime := 0.0
+		bestDepth, bestBytes := 0, 0
+		for depth := 1; depth <= 3; depth++ {
+			p := grid[ci][depth-1]
+			if !p.ok {
+				continue
+			}
 			var xs []float64
-			for _, bench := range benches {
-				r, err := o.run(bench, sim.ScaledSRAMSystem(bytes, depth, duplicatePorts, true, ct))
-				if err != nil {
-					return nil, err
-				}
-				xs = append(xs, sim.ExecutionTimeNs(r, ct)/ref[bench])
+			for bi := range benches {
+				xs = append(xs, p.ns[bi]/ref[bi])
 			}
 			mean := stats.GeoMean(xs)
 			if bestDepth == 0 || mean < bestTime {
-				bestTime, bestDepth, bestBytes = mean, depth, bytes
+				bestTime, bestDepth, bestBytes = mean, depth, p.bytes
 			}
 		}
 		if bestDepth == 0 {

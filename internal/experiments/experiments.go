@@ -13,11 +13,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"hbcache/internal/cpu"
 	"hbcache/internal/mem"
+	"hbcache/internal/runner"
 	"hbcache/internal/sim"
 	"hbcache/internal/stats"
 	"hbcache/internal/workload"
@@ -37,6 +39,39 @@ type Options struct {
 	PrewarmInsts uint64
 	WarmupInsts  uint64
 	MeasureInsts uint64
+
+	// Runner executes the experiment's simulation points. Sharing one
+	// Runner across experiments deduplicates the many design-space
+	// points the figures have in common and adds disk caching and
+	// progress reporting. Nil falls back to a process-wide default
+	// with NumCPU workers and no disk cache.
+	Runner *runner.Runner
+	// Context cancels in-flight experiment work (nil = background).
+	Context context.Context
+}
+
+// defaultRunner backs Options with a nil Runner. CacheDir is off, so
+// New cannot fail here.
+var defaultRunner = func() *runner.Runner {
+	r, err := runner.New(runner.Options{})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}()
+
+func (o Options) runner() *runner.Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return defaultRunner
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) seed() uint64 {
@@ -53,9 +88,10 @@ func (o Options) benchmarks(def []string) []string {
 	return def
 }
 
-// run executes one simulation with the options' windows.
-func (o Options) run(bench string, memory mem.SystemConfig) (sim.Result, error) {
-	return sim.Run(sim.Config{
+// config assembles the sim.Config for one design point under the
+// options' windows and the paper's default processor.
+func (o Options) config(bench string, memory mem.SystemConfig) sim.Config {
+	return sim.Config{
 		Benchmark:    bench,
 		Seed:         o.seed(),
 		CPU:          cpu.DefaultConfig(),
@@ -63,7 +99,54 @@ func (o Options) run(bench string, memory mem.SystemConfig) (sim.Result, error) 
 		PrewarmInsts: o.PrewarmInsts,
 		WarmupInsts:  o.WarmupInsts,
 		MeasureInsts: o.MeasureInsts,
-	})
+	}
+}
+
+// run executes one simulation through the runner (memoized and cached,
+// but synchronous — batch gets the parallelism).
+func (o Options) run(bench string, memory mem.SystemConfig) (sim.Result, error) {
+	return o.runner().RunOne(o.ctx(), o.config(bench, memory))
+}
+
+// batch accumulates an experiment's simulation points together with the
+// table cells they feed, then executes them through the runner as one
+// parallel wave. Apply callbacks fire in submission order, so table
+// assembly stays deterministic at any worker count.
+type batch struct {
+	o     Options
+	cfgs  []sim.Config
+	apply []func(sim.Result)
+}
+
+func (o Options) batch() *batch { return &batch{o: o} }
+
+// add schedules a default-processor run of bench on memory; f receives
+// the result once the batch runs.
+func (b *batch) add(bench string, memory mem.SystemConfig, f func(sim.Result)) {
+	b.addConfig(b.o.config(bench, memory), f)
+}
+
+// addConfig schedules an arbitrary config (for ablations that vary the
+// processor rather than the memory system).
+func (b *batch) addConfig(cfg sim.Config, f func(sim.Result)) {
+	b.cfgs = append(b.cfgs, cfg)
+	b.apply = append(b.apply, f)
+}
+
+// run executes every scheduled point and applies the callbacks,
+// stopping at the first job error.
+func (b *batch) run() error {
+	jrs, err := b.o.runner().Run(b.o.ctx(), b.cfgs)
+	if err != nil {
+		return err
+	}
+	for i, jr := range jrs {
+		if jr.Err != nil {
+			return jr.Err
+		}
+		b.apply[i](jr.Result)
+	}
+	return nil
 }
 
 // Experiment is a runnable reproduction of one table or figure.

@@ -5,6 +5,7 @@ import (
 
 	"hbcache/internal/fo4"
 	"hbcache/internal/mem"
+	"hbcache/internal/sim"
 	"hbcache/internal/stats"
 	"hbcache/internal/workload"
 )
@@ -13,22 +14,36 @@ import (
 // studies.
 const fig45CacheBytes = 32 << 10
 
-// ipcSweep runs benchmark x port-config x hit-time and tabulates IPC.
+// ipcSweep runs benchmark x port-config x hit-time as one batch through
+// the runner and tabulates IPC.
 func ipcSweep(o Options, benches []string, ports []mem.PortConfig, hits []int, lineBuffer bool) (*stats.Table, error) {
+	ipc := make([][][]float64, len(benches)) // bench × port × hit
+	b := o.batch()
+	for bi, bench := range benches {
+		ipc[bi] = make([][]float64, len(ports))
+		for pi, pc := range ports {
+			ipc[bi][pi] = make([]float64, len(hits))
+			for hi, h := range hits {
+				dst := &ipc[bi][pi][hi]
+				b.add(bench, mem.DefaultSRAMSystem(fig45CacheBytes, h, pc, lineBuffer),
+					func(r sim.Result) { *dst = r.IPC })
+			}
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
 	header := []string{"benchmark", "organization"}
 	for _, h := range hits {
 		header = append(header, "IPC "+hitTimeLabel(h))
 	}
 	t := stats.NewTable(header...)
-	for _, bench := range benches {
-		for _, pc := range ports {
+	for bi, bench := range benches {
+		for pi, pc := range ports {
 			row := []string{bench, pc.String()}
-			for _, h := range hits {
-				r, err := o.run(bench, mem.DefaultSRAMSystem(fig45CacheBytes, h, pc, lineBuffer))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.3f", r.IPC))
+			for hi := range hits {
+				row = append(row, fmt.Sprintf("%.3f", ipc[bi][pi][hi]))
 			}
 			t.AddRow(row...)
 		}
@@ -64,28 +79,47 @@ func Figure5(o Options) (*stats.Table, error) {
 func Figure6(o Options) (*stats.Table, error) {
 	benches := o.benchmarks(representatives)
 	hits := []int{1, 2, 3}
+	orgs := []struct {
+		ports mem.PortConfig
+		lb    bool
+	}{
+		{banked8, false}, {banked8, true},
+		{duplicatePorts, false}, {duplicatePorts, true},
+	}
+
+	ipc := make([][][]float64, len(benches)) // bench × org × hit
+	b := o.batch()
+	for bi, bench := range benches {
+		ipc[bi] = make([][]float64, len(orgs))
+		for oi, org := range orgs {
+			ipc[bi][oi] = make([]float64, len(hits))
+			for hi, h := range hits {
+				dst := &ipc[bi][oi][hi]
+				b.add(bench, mem.DefaultSRAMSystem(fig45CacheBytes, h, org.ports, org.lb),
+					func(r sim.Result) { *dst = r.IPC })
+			}
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
 	header := []string{"benchmark", "organization"}
 	for _, h := range hits {
 		header = append(header, "IPC "+hitTimeLabel(h))
 	}
 	t := stats.NewTable(header...)
-	for _, bench := range benches {
-		for _, pc := range []mem.PortConfig{banked8, duplicatePorts} {
-			for _, lb := range []bool{false, true} {
-				label := pc.String()
-				if lb {
-					label += " +LB"
-				}
-				row := []string{bench, label}
-				for _, h := range hits {
-					r, err := o.run(bench, mem.DefaultSRAMSystem(fig45CacheBytes, h, pc, lb))
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, fmt.Sprintf("%.3f", r.IPC))
-				}
-				t.AddRow(row...)
+	for bi, bench := range benches {
+		for oi, org := range orgs {
+			label := org.ports.String()
+			if org.lb {
+				label += " +LB"
 			}
+			row := []string{bench, label}
+			for hi := range hits {
+				row = append(row, fmt.Sprintf("%.3f", ipc[bi][oi][hi]))
+			}
+			t.AddRow(row...)
 		}
 	}
 	return t, nil
@@ -98,24 +132,39 @@ func Figure6(o Options) (*stats.Table, error) {
 func Figure7(o Options) (*stats.Table, error) {
 	benches := o.benchmarks(representatives)
 	hits := []int{6, 7, 8}
+	lbs := []bool{false, true}
+
+	ipc := make([][][]float64, len(benches)) // bench × lb × hit
+	b := o.batch()
+	for bi, bench := range benches {
+		ipc[bi] = make([][]float64, len(lbs))
+		for li, lb := range lbs {
+			ipc[bi][li] = make([]float64, len(hits))
+			for hi, h := range hits {
+				dst := &ipc[bi][li][hi]
+				b.add(bench, mem.DefaultDRAMSystem(h, lb),
+					func(r sim.Result) { *dst = r.IPC })
+			}
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
 	header := []string{"benchmark", "organization"}
 	for _, h := range hits {
 		header = append(header, fmt.Sprintf("IPC DRAM %s", hitTimeLabel(h)))
 	}
 	t := stats.NewTable(header...)
-	for _, bench := range benches {
-		for _, lb := range []bool{false, true} {
+	for bi, bench := range benches {
+		for li, lb := range lbs {
 			label := "row-buffer cache"
 			if lb {
 				label += " +LB"
 			}
 			row := []string{bench, label}
-			for _, h := range hits {
-				r, err := o.run(bench, mem.DefaultDRAMSystem(h, lb))
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.3f", r.IPC))
+			for hi := range hits {
+				row = append(row, fmt.Sprintf("%.3f", ipc[bi][li][hi]))
 			}
 			t.AddRow(row...)
 		}
@@ -131,12 +180,6 @@ func Figure7(o Options) (*stats.Table, error) {
 func Figure8(o Options) (*stats.Table, error) {
 	benches := o.benchmarks(workload.BenchmarkNames())
 	sizes := fo4.PowerOfTwoSizes()
-	header := []string{"benchmark", "organization"}
-	for _, s := range sizes {
-		header = append(header, fo4.SizeLabel(s))
-	}
-	header = append(header, "4M DRAM 6~")
-	t := stats.NewTable(header...)
 
 	orgs := []struct {
 		label string
@@ -151,37 +194,44 @@ func Figure8(o Options) (*stats.Table, error) {
 		{"8-way banked 3~", banked8, 3},
 	}
 
-	// Collect IPCs per benchmark, then emit representative rows and the
-	// average.
-	perOrg := map[string]map[string][]float64{} // org -> bench -> IPC per size (+DRAM last)
-	for _, org := range orgs {
-		perOrg[org.label] = map[string][]float64{}
-		for _, bench := range benches {
-			var ipcs []float64
-			for _, s := range sizes {
-				r, err := o.run(bench, mem.DefaultSRAMSystem(s, org.hit, org.ports, true))
-				if err != nil {
-					return nil, err
-				}
-				ipcs = append(ipcs, r.IPC)
+	// One batch covers the whole grid plus the DRAM column; the runner
+	// spreads it across workers and dedups points shared with other
+	// figures.
+	perOrg := make([][][]float64, len(orgs)) // org × bench × size
+	dram := make([]float64, len(benches))
+	b := o.batch()
+	for oi, org := range orgs {
+		perOrg[oi] = make([][]float64, len(benches))
+		for bi, bench := range benches {
+			perOrg[oi][bi] = make([]float64, len(sizes))
+			for si, s := range sizes {
+				dst := &perOrg[oi][bi][si]
+				b.add(bench, mem.DefaultSRAMSystem(s, org.hit, org.ports, true),
+					func(r sim.Result) { *dst = r.IPC })
 			}
-			perOrg[org.label][bench] = ipcs
 		}
 	}
-	dram := map[string]float64{}
-	for _, bench := range benches {
-		r, err := o.run(bench, mem.DefaultDRAMSystem(6, true))
-		if err != nil {
-			return nil, err
-		}
-		dram[bench] = r.IPC
+	for bi, bench := range benches {
+		dst := &dram[bi]
+		b.add(bench, mem.DefaultDRAMSystem(6, true),
+			func(r sim.Result) { *dst = r.IPC })
+	}
+	if err := b.run(); err != nil {
+		return nil, err
 	}
 
-	emit := func(rowBench string, pick func(org string, sizeIdx int) float64, pickDRAM func() float64) {
-		for _, org := range orgs {
+	header := []string{"benchmark", "organization"}
+	for _, s := range sizes {
+		header = append(header, fo4.SizeLabel(s))
+	}
+	header = append(header, "4M DRAM 6~")
+	t := stats.NewTable(header...)
+
+	emit := func(rowBench string, pick func(oi, sizeIdx int) float64, pickDRAM func() float64) {
+		for oi, org := range orgs {
 			row := []string{rowBench, org.label}
-			for i := range sizes {
-				row = append(row, fmt.Sprintf("%.3f", pick(org.label, i)))
+			for si := range sizes {
+				row = append(row, fmt.Sprintf("%.3f", pick(oi, si)))
 			}
 			if org.label == "duplicate 1~" {
 				row = append(row, fmt.Sprintf("%.3f", pickDRAM()))
@@ -191,31 +241,25 @@ func Figure8(o Options) (*stats.Table, error) {
 			t.AddRow(row...)
 		}
 	}
-	for _, bench := range benches {
+	for bi, bench := range benches {
 		if !isRepresentative(bench) && len(benches) > 3 {
 			continue
 		}
-		b := bench
-		emit(b,
-			func(org string, i int) float64 { return perOrg[org][b][i] },
-			func() float64 { return dram[b] })
+		bi := bi
+		emit(bench,
+			func(oi, si int) float64 { return perOrg[oi][bi][si] },
+			func() float64 { return dram[bi] })
 	}
 	if len(benches) > 1 {
 		emit("average",
-			func(org string, i int) float64 {
+			func(oi, si int) float64 {
 				var xs []float64
-				for _, b := range benches {
-					xs = append(xs, perOrg[org][b][i])
+				for bi := range benches {
+					xs = append(xs, perOrg[oi][bi][si])
 				}
 				return stats.Mean(xs)
 			},
-			func() float64 {
-				var xs []float64
-				for _, b := range benches {
-					xs = append(xs, dram[b])
-				}
-				return stats.Mean(xs)
-			})
+			func() float64 { return stats.Mean(dram) })
 	}
 	return t, nil
 }
@@ -234,19 +278,27 @@ func isRepresentative(bench string) bool {
 // (+25% for the second port, +4% for the third, +1% for the fourth).
 func PortScaling(o Options) (*stats.Table, error) {
 	benches := o.benchmarks(workload.BenchmarkNames())
+	const maxPorts = 4
+
+	ipc := make([][]float64, maxPorts) // ports-1 × bench
+	b := o.batch()
+	for n := 1; n <= maxPorts; n++ {
+		ipc[n-1] = make([]float64, len(benches))
+		for bi, bench := range benches {
+			dst := &ipc[n-1][bi]
+			b.add(bench, mem.DefaultSRAMSystem(fig45CacheBytes, 1, mem.PortConfig{Kind: mem.IdealPorts, Count: n}, false),
+				func(r sim.Result) { *dst = r.IPC })
+		}
+	}
+	if err := b.run(); err != nil {
+		return nil, err
+	}
+
 	t := stats.NewTable("ports", "mean IPC", "gain over previous", "paper gain")
 	paper := map[int]string{1: "-", 2: "+25%", 3: "+4%", 4: "+<1%"}
 	prev := 0.0
-	for n := 1; n <= 4; n++ {
-		var ipcs []float64
-		for _, bench := range benches {
-			r, err := o.run(bench, mem.DefaultSRAMSystem(fig45CacheBytes, 1, mem.PortConfig{Kind: mem.IdealPorts, Count: n}, false))
-			if err != nil {
-				return nil, err
-			}
-			ipcs = append(ipcs, r.IPC)
-		}
-		mean := stats.Mean(ipcs)
+	for n := 1; n <= maxPorts; n++ {
+		mean := stats.Mean(ipc[n-1])
 		gain := "-"
 		if prev > 0 {
 			gain = fmt.Sprintf("%+.1f%%", 100*(mean/prev-1))

@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hbcache/internal/sim"
+)
+
+// keyVersion tags the canonical encoding. Bump it whenever the meaning
+// of a sim.Config field or the simulator's interpretation of one
+// changes, so stale cached results from older binaries never resurface.
+const keyVersion = "hbcache-job-v1"
+
+// keyEnvelope is what gets hashed: the version string plus the
+// canonicalized config. sim.Config and everything it embeds are plain
+// structs (no maps), so encoding/json emits fields in declaration order
+// and the encoding is deterministic.
+type keyEnvelope struct {
+	Version string
+	Config  sim.Config
+}
+
+// Canonical normalizes a config so different spellings of the same
+// simulation share one cache entry: zero instruction windows become the
+// defaults sim.Run would substitute anyway.
+func Canonical(cfg sim.Config) sim.Config {
+	if cfg.PrewarmInsts == 0 {
+		cfg.PrewarmInsts = sim.DefaultPrewarm
+	}
+	if cfg.WarmupInsts == 0 {
+		cfg.WarmupInsts = sim.DefaultWarmup
+	}
+	if cfg.MeasureInsts == 0 {
+		cfg.MeasureInsts = sim.DefaultMeasure
+	}
+	return cfg
+}
+
+// Key returns the content address of a simulation: the hex SHA-256 of
+// the canonical encoding of its config. Configs that simulate
+// identically map to the same key; any behavior-relevant field change
+// maps to a different one.
+func Key(cfg sim.Config) (string, error) {
+	b, err := json.Marshal(keyEnvelope{Version: keyVersion, Config: Canonical(cfg)})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Cache is an on-disk, content-addressed store of simulation results:
+// one JSON file per key, sharded by the key's first byte to keep
+// directories small on big sweeps.
+type Cache struct {
+	dir string
+}
+
+// cacheEntry is the on-disk record. The config rides along purely for
+// debuggability — `cat` a cache file and see what produced it.
+type cacheEntry struct {
+	Key    string
+	Config sim.Config
+	Result sim.Result
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: creating cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result for key, if present and intact. Any
+// unreadable or corrupt entry is treated as a miss — the simulation
+// simply re-runs and overwrites it.
+func (c *Cache) Get(key string) (sim.Result, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key {
+		return sim.Result{}, false
+	}
+	return e.Result, true
+}
+
+// Put stores a result under key, atomically: written to a temp file in
+// the same directory and renamed into place, so a killed process never
+// leaves a half-written entry where Get will find it.
+func (c *Cache) Put(key string, cfg sim.Config, res sim.Result) error {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(cacheEntry{Key: key, Config: cfg, Result: res}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+// Len counts the entries currently stored, for tests and tooling.
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,402 @@
+// Package runner executes simulation jobs in parallel with
+// content-addressed result caching.
+//
+// The paper's evaluation is hundreds of independent (benchmark × size ×
+// ports × hit-time × line-buffer) points; the runner treats each
+// sim.Config as a schedulable, memoizable unit of work. A worker pool
+// (-j workers, default runtime.NumCPU()) fans the points across
+// goroutines while Run returns results in submission order, so CSV and
+// table output is byte-identical at any worker count. A canonical
+// encoding of the config keys both an in-memory memo — identical points
+// submitted twice, even by different experiments sharing one Runner,
+// simulate once — and an optional on-disk JSON store, so re-running
+// figures or resuming an interrupted sweep skips already-simulated
+// points.
+//
+// Jobs are individually robust: a panicking simulation surfaces as that
+// job's error rather than crashing the process, failed jobs retry a
+// bounded number of times, and context cancellation drains the pool
+// cleanly with completed work already checkpointed to the cache.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"hbcache/internal/sim"
+)
+
+// Options configure a Runner.
+type Options struct {
+	// Workers is the number of concurrent simulation goroutines.
+	// Zero or negative selects runtime.NumCPU().
+	Workers int
+	// CacheDir, when non-empty, enables the on-disk result cache: each
+	// completed simulation is stored under its content-addressed key
+	// and later runs with the same config are served from disk.
+	CacheDir string
+	// Retries is how many times a failed or panicked job re-runs before
+	// its error is surfaced. Simulations are deterministic, so the
+	// zero default is right unless the sim function is stubbed.
+	Retries int
+	// OnProgress, when non-nil, is called with a metrics snapshot after
+	// every completed job. Calls are serialized (never concurrent with
+	// each other), so the callback may write to a terminal unguarded.
+	OnProgress func(Metrics)
+}
+
+// Metrics is a point-in-time snapshot of a Runner's counters.
+type Metrics struct {
+	Submitted int           // jobs handed to the runner so far
+	Done      int           // jobs finished, by any path below
+	Simulated int           // jobs that actually ran the simulator
+	CacheHits int           // jobs served from the on-disk cache
+	MemoHits  int           // jobs deduplicated against an identical job this process
+	Errors    int           // jobs whose final attempt failed
+	Retries   int           // extra attempts consumed by failing jobs
+	SimWall   time.Duration // cumulative wall time inside the simulator
+	Elapsed   time.Duration // wall time since the runner was created
+}
+
+// Rate is completed jobs per second of runner lifetime (cache and memo
+// hits included — it measures sweep throughput, not simulator speed).
+func (m Metrics) Rate() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Done) / m.Elapsed.Seconds()
+}
+
+// JobResult is the outcome of one submitted job.
+type JobResult struct {
+	Config   sim.Config
+	Result   sim.Result
+	Err      error
+	CacheHit bool          // served from the on-disk cache
+	MemoHit  bool          // deduplicated against an identical job
+	Wall     time.Duration // time spent producing the result
+	Attempts int           // simulation attempts (0 for memo hits and skips)
+}
+
+// Runner schedules simulation jobs onto a worker pool.
+type Runner struct {
+	workers    int
+	retries    int
+	onProgress func(Metrics)
+	cache      *Cache
+
+	// sim runs one simulation; tests substitute instrumented stubs.
+	sim func(sim.Config) (sim.Result, error)
+
+	start time.Time
+
+	mu      sync.Mutex
+	memo    map[string]*memoEntry
+	metrics Metrics
+}
+
+// memoEntry is the single in-flight-or-finished execution of one
+// canonical config; duplicates wait on done instead of re-simulating.
+type memoEntry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// New builds a Runner. The only error source is creating CacheDir.
+func New(opts Options) (*Runner, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	r := &Runner{
+		workers:    workers,
+		retries:    opts.Retries,
+		onProgress: opts.OnProgress,
+		sim:        sim.Run,
+		start:      time.Now(),
+		memo:       map[string]*memoEntry{},
+	}
+	if opts.CacheDir != "" {
+		c, err := NewCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.cache = c
+	}
+	return r, nil
+}
+
+// Workers reports the configured pool width.
+func (r *Runner) Workers() int { return r.workers }
+
+// Metrics returns a snapshot of the runner's counters.
+func (r *Runner) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+func (r *Runner) snapshotLocked() Metrics {
+	m := r.metrics
+	m.Elapsed = time.Since(r.start)
+	return m
+}
+
+// Run executes the configs across the worker pool and returns one
+// JobResult per config, in submission order regardless of completion
+// order. Per-job failures are reported in the corresponding
+// JobResult.Err; the returned error is non-nil only when ctx was
+// cancelled, in which case undispatched jobs carry ctx's error.
+func (r *Runner) Run(ctx context.Context, cfgs []sim.Config) ([]JobResult, error) {
+	results := make([]JobResult, len(cfgs))
+	r.mu.Lock()
+	r.metrics.Submitted += len(cfgs)
+	r.mu.Unlock()
+
+	workers := r.workers
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = r.do(ctx, cfgs[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range cfgs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		// Jobs the dispatcher never handed out are still zero values;
+		// mark them cancelled so callers see every slot accounted for.
+		for i := range results {
+			if results[i].Err == nil && results[i].Attempts == 0 && !results[i].MemoHit && !results[i].CacheHit {
+				results[i].Config = cfgs[i]
+				results[i].Err = err
+				r.finish(&results[i])
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// RunOne executes a single config synchronously on the calling
+// goroutine, still going through the memo and cache.
+func (r *Runner) RunOne(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+	r.mu.Lock()
+	r.metrics.Submitted++
+	r.mu.Unlock()
+	jr := r.do(ctx, cfg)
+	return jr.Result, jr.Err
+}
+
+// do produces the result for one job: memo, then disk cache, then a
+// simulation with panic recovery and bounded retry. It records metrics
+// and fires the progress callback exactly once per job.
+func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
+	jr := JobResult{Config: cfg}
+	started := time.Now()
+	settle := func() JobResult {
+		jr.Wall = time.Since(started)
+		r.finish(&jr)
+		return jr
+	}
+
+	if err := ctx.Err(); err != nil {
+		jr.Err = err
+		return settle()
+	}
+
+	key, err := Key(cfg)
+	if err != nil {
+		jr.Err = fmt.Errorf("runner: keying %s config: %w", cfg.Benchmark, err)
+		return settle()
+	}
+
+	r.mu.Lock()
+	entry, inFlight := r.memo[key]
+	if !inFlight {
+		entry = &memoEntry{done: make(chan struct{})}
+		r.memo[key] = entry
+	}
+	r.mu.Unlock()
+
+	if inFlight {
+		select {
+		case <-entry.done:
+			jr.Result, jr.Err = entry.res, entry.err
+			jr.MemoHit = true
+		case <-ctx.Done():
+			jr.Err = ctx.Err()
+		}
+		return settle()
+	}
+
+	// This goroutine owns the entry: fill it from disk or by simulating,
+	// then publish for any duplicates waiting above.
+	defer close(entry.done)
+
+	if r.cache != nil {
+		if res, ok := r.cache.Get(key); ok {
+			entry.res = res
+			jr.Result, jr.CacheHit = res, true
+			return settle()
+		}
+	}
+
+	var res sim.Result
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			entry.err = err
+			jr.Err = err
+			return settle()
+		}
+		jr.Attempts = attempt + 1
+		res, err = r.simulate(cfg)
+		if err == nil || attempt >= r.retries {
+			break
+		}
+		r.mu.Lock()
+		r.metrics.Retries++
+		r.mu.Unlock()
+	}
+	if err != nil {
+		entry.err = fmt.Errorf("runner: %s: %w", cfg.Benchmark, err)
+		jr.Err = entry.err
+		return settle()
+	}
+	entry.res = res
+	jr.Result = res
+	if r.cache != nil {
+		// Checkpoint before reporting done so a cancellation right after
+		// this job still finds the result on disk next run. A cache
+		// write failure is not a job failure — the result itself is
+		// good — so it is deliberately dropped.
+		_ = r.cache.Put(key, cfg, res)
+	}
+	return settle()
+}
+
+// simulate runs one simulation, converting a panic into an error so a
+// bad design point cannot take down a thousand-point sweep.
+func (r *Runner) simulate(cfg sim.Config) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return r.sim(cfg)
+}
+
+// finish folds one completed job into the metrics and fires the
+// progress callback with a consistent snapshot.
+func (r *Runner) finish(jr *JobResult) {
+	r.mu.Lock()
+	r.metrics.Done++
+	switch {
+	case jr.CacheHit:
+		r.metrics.CacheHits++
+	case jr.MemoHit:
+		r.metrics.MemoHits++
+	case jr.Attempts > 0:
+		r.metrics.Simulated++
+		r.metrics.SimWall += jr.Wall
+	}
+	if jr.Err != nil {
+		r.metrics.Errors++
+	}
+	snap := r.snapshotLocked()
+	cb := r.onProgress
+	r.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
+}
+
+// Results unwraps a batch into bare sim.Results, returning the first
+// per-job error encountered.
+func Results(jrs []JobResult) ([]sim.Result, error) {
+	out := make([]sim.Result, len(jrs))
+	for i, jr := range jrs {
+		if jr.Err != nil {
+			return nil, jr.Err
+		}
+		out[i] = jr.Result
+	}
+	return out, nil
+}
+
+// Parallel runs fn(i) for each i in [0, n) across at most workers
+// goroutines. It is the runner's pool discipline for work that is not a
+// sim.Config job (and so cannot be cached), like the raw miss-rate
+// points of Figure 3. The first error stops dispatch and is returned;
+// ctx cancellation likewise.
+func Parallel(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once  sync.Once
+		first error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			first = err
+			cancel()
+		})
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if cctx.Err() != nil {
+					continue
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-cctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
