@@ -1,9 +1,13 @@
 GO ?= go
 
-.PHONY: build test race vet fmt verify bench
+.PHONY: build bin test race vet fmt verify bench serve
 
 build:
 	$(GO) build ./...
+
+# Install all command binaries into ./bin.
+bin:
+	$(GO) build -o bin/ ./cmd/...
 
 vet:
 	$(GO) vet ./...
@@ -14,10 +18,15 @@ fmt:
 test:
 	$(GO) test ./...
 
-# The runner and simulator are the concurrency-sensitive packages; run
-# them under the race detector in addition to the plain suite.
+# The runner, simulator, HTTP service, and server binary are the
+# concurrency-sensitive packages; run them under the race detector in
+# addition to the plain suite.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim
+	$(GO) test -race ./internal/runner ./internal/sim ./internal/service ./cmd/hbserved
+
+# Run the simulation service locally with sensible dev defaults.
+serve:
+	$(GO) run ./cmd/hbserved -addr :8080 -cache-dir $${HBCACHE_DIR:-$$HOME/.cache/hbcache}
 
 verify: build vet fmt race test
 	@echo "verify: OK"

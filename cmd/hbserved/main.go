@@ -1,0 +1,114 @@
+// Command hbserved exposes the simulator as a long-lived HTTP service:
+// clients POST sim configs (or whole sweep batches) as JSON, poll or
+// stream their progress, and fetch results, while the server dedups
+// identical configs across requests and serves repeats from its
+// content-addressed cache.
+//
+//	hbserved -addr :8080 -cache-dir ~/.hbcache -j 16 -queue 256
+//
+// The API lives under /v1 (see internal/service for the full route
+// table); /healthz answers liveness probes and /metrics exports
+// Prometheus gauges, counters, and a job-latency histogram. On SIGTERM
+// or Ctrl-C the server stops accepting new jobs (503), finishes every
+// job already accepted, then exits — so an orchestrator's rolling
+// restart never discards queued work.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hbcache/internal/runner"
+	"hbcache/internal/service"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hbserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main without the process-global bits, so tests can drive a
+// full server lifecycle — including signal-initiated shutdown — in a
+// goroutine. It prints exactly one "listening on ADDR" line to stdout
+// once the socket is bound.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hbserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		cacheDir   = fs.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
+		workers    = fs.Int("j", 0, "concurrent simulations (0 = all CPUs)")
+		queueSize  = fs.Int("queue", 64, "bounded job queue size; a full queue answers 429")
+		jobTimeout = fs.Duration("job-timeout", 0, "per-job wall-time cap (0 = none)")
+		retryAfter = fs.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
+		maxInsts   = fs.Uint64("max-insts", 0, "reject configs whose total instruction budget exceeds this (0 = no limit)")
+		drain      = fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for accepted jobs to finish")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r, err := runner.New(runner.Options{Workers: *workers, CacheDir: *cacheDir})
+	if err != nil {
+		return err
+	}
+	svc := service.New(r, service.Options{
+		QueueSize:     *queueSize,
+		Concurrency:   *workers,
+		JobTimeout:    *jobTimeout,
+		RetryAfter:    *retryAfter,
+		MaxTotalInsts: *maxInsts,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain the job queue first (results stay
+	// fetchable over HTTP the whole time), then close the listener and
+	// wait for in-flight requests — SSE streams end when the service's
+	// drain completes, so this second phase is short.
+	fmt.Fprintln(stderr, "hbserved: signal received, draining jobs")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := svc.Shutdown(dctx)
+	httpErr := srv.Shutdown(dctx)
+	<-serveErr // always http.ErrServerClosed after Shutdown
+	if drainErr != nil {
+		return fmt.Errorf("draining jobs: %w", drainErr)
+	}
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return fmt.Errorf("closing http server: %w", httpErr)
+	}
+	fmt.Fprintln(stderr, "hbserved: drained cleanly")
+	return nil
+}

@@ -35,25 +35,25 @@ type DataMemory interface {
 // Config parameterizes the core. The zero value is invalid; use
 // DefaultConfig.
 type Config struct {
-	FetchWidth  int // instructions dispatched per cycle (paper: 4)
-	IssueWidth  int // instructions issued per cycle (paper: 4, any mix)
-	RetireWidth int // instructions retired per cycle
-	WindowSize  int // reorder buffer / instruction window (paper: 64)
-	LSQSize     int // load/store buffer entries (paper: 32)
+	FetchWidth  int `json:"fetch_width"`  // instructions dispatched per cycle (paper: 4)
+	IssueWidth  int `json:"issue_width"`  // instructions issued per cycle (paper: 4, any mix)
+	RetireWidth int `json:"retire_width"` // instructions retired per cycle
+	WindowSize  int `json:"window_size"`  // reorder buffer / instruction window (paper: 64)
+	LSQSize     int `json:"lsq_size"`     // load/store buffer entries (paper: 32)
 	// PredictorEntries sizes the two-bit branch history table.
-	PredictorEntries int
+	PredictorEntries int `json:"predictor_entries"`
 	// Gshare switches the predictor to gshare indexing with
 	// GshareHistoryBits of global history (an ablation; the paper's
 	// machine is a plain two-bit table).
-	Gshare            bool
-	GshareHistoryBits int
+	Gshare            bool `json:"gshare,omitempty"`
+	GshareHistoryBits int  `json:"gshare_history_bits,omitempty"`
 	// FULimits optionally restricts how many instructions of each class
 	// may issue per cycle. Nil reproduces the paper's processor, which
 	// places no restriction on the mix of instructions issued.
-	FULimits *FULimits
+	FULimits *FULimits `json:"fu_limits,omitempty"`
 	// MispredictPenalty is the front-end refill time in cycles after a
 	// mispredicted branch resolves.
-	MispredictPenalty int
+	MispredictPenalty int `json:"mispredict_penalty"`
 }
 
 // DefaultConfig returns the paper's processor.
@@ -106,25 +106,25 @@ type entry struct {
 
 // Stats are the core's cumulative counters.
 type Stats struct {
-	Cycles   uint64
-	Retired  uint64
-	Loads    uint64
-	Stores   uint64
-	Branches uint64
+	Cycles   uint64 `json:"cycles"`
+	Retired  uint64 `json:"retired"`
+	Loads    uint64 `json:"loads"`
+	Stores   uint64 `json:"stores"`
+	Branches uint64 `json:"branches"`
 
-	Mispredicts     uint64
-	LoadLatencySum  uint64 // issue-to-done, summed over loads
-	LoadForwarded   uint64 // loads satisfied by store-to-load forwarding
-	WindowFull      uint64 // dispatch stalls: window
-	LSQFull         uint64 // dispatch stalls: load/store buffer
-	StoreBufStalls  uint64 // retire stalls: L1 store buffer full
-	FetchBlocked    uint64 // dispatch stalls: unresolved mispredict
-	IssuedHistogram [8]uint64
+	Mispredicts     uint64    `json:"mispredicts"`
+	LoadLatencySum  uint64    `json:"load_latency_sum"` // issue-to-done, summed over loads
+	LoadForwarded   uint64    `json:"load_forwarded"`   // loads satisfied by store-to-load forwarding
+	WindowFull      uint64    `json:"window_full"`      // dispatch stalls: window
+	LSQFull         uint64    `json:"lsq_full"`         // dispatch stalls: load/store buffer
+	StoreBufStalls  uint64    `json:"store_buf_stalls"` // retire stalls: L1 store buffer full
+	FetchBlocked    uint64    `json:"fetch_blocked"`    // dispatch stalls: unresolved mispredict
+	IssuedHistogram [8]uint64 `json:"issued_histogram"`
 
 	// WindowOccupancySum and LSQOccupancySum accumulate per-cycle
 	// occupancies for mean-utilization reporting.
-	WindowOccupancySum uint64
-	LSQOccupancySum    uint64
+	WindowOccupancySum uint64 `json:"window_occupancy_sum"`
+	LSQOccupancySum    uint64 `json:"lsq_occupancy_sum"`
 }
 
 // MeanWindowOccupancy returns the average number of live window entries
@@ -404,9 +404,9 @@ func (c *CPU) retire() {
 // floating point units, and single load/store unit). Zero in any field
 // means unlimited for that class.
 type FULimits struct {
-	Int int // integer ALU/multiply/divide and branches
-	FP  int // floating point
-	Mem int // loads and stores (address generation)
+	Int int `json:"int"` // integer ALU/multiply/divide and branches
+	FP  int `json:"fp"`  // floating point
+	Mem int `json:"mem"` // loads and stores (address generation)
 }
 
 // class buckets an op for FU accounting.

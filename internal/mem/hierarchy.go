@@ -7,25 +7,25 @@ import "fmt"
 // memory; the DRAM organization is row-buffer L1 + on-chip DRAM cache +
 // memory with no off-chip secondary cache.
 type SystemConfig struct {
-	L1   L1Config
-	L2   *L2Config
-	DRAM *DRAMConfig
+	L1   L1Config    `json:"l1"`
+	L2   *L2Config   `json:"l2,omitempty"`
+	DRAM *DRAMConfig `json:"dram,omitempty"`
 
 	// MemoryLatencyCycles is main memory's access time in processor
 	// cycles (60 at the baseline 200 MHz; Figure 9 scales it).
-	MemoryLatencyCycles int
+	MemoryLatencyCycles int `json:"memory_latency_cycles"`
 
 	// CycleNs is the processor cycle period in nanoseconds, used to
 	// convert the paper's bus bandwidths into bytes per cycle.
-	CycleNs float64
+	CycleNs float64 `json:"cycle_ns"`
 
 	// ChipBusGBs is the peak processor-chip bandwidth in GByte/s
 	// (2.5 to the off-chip L2 in the SRAM organization; also used as the
 	// chip's memory-request path in the DRAM organization).
-	ChipBusGBs float64
+	ChipBusGBs float64 `json:"chip_bus_gbs"`
 
 	// MemBusGBs is the peak L2-to-memory bandwidth in GByte/s (1.6).
-	MemBusGBs float64
+	MemBusGBs float64 `json:"mem_bus_gbs"`
 }
 
 // Default bandwidths from the paper's section 3.1.

@@ -16,6 +16,29 @@ const (
 	WriteThrough
 )
 
+// MarshalText renders the policy by name, so JSON configs read
+// "write-back" instead of a bare enum ordinal.
+func (p WritePolicy) MarshalText() ([]byte, error) {
+	switch p {
+	case WriteBack, WriteThrough:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("mem: unknown write policy %d", int(p))
+}
+
+// UnmarshalText parses a policy name emitted by MarshalText.
+func (p *WritePolicy) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "write-back":
+		*p = WriteBack
+	case "write-through":
+		*p = WriteThrough
+	default:
+		return fmt.Errorf("mem: unknown write policy %q (want write-back or write-through)", text)
+	}
+	return nil
+}
+
 func (p WritePolicy) String() string {
 	switch p {
 	case WriteBack:
@@ -29,14 +52,14 @@ func (p WritePolicy) String() string {
 
 // L1Config describes the primary data cache.
 type L1Config struct {
-	Bytes     int        // capacity, 4 KB .. 1 MB for SRAM, 16 KB for the row-buffer cache
-	LineBytes int        // line size (paper: 32 B SRAM, 512 B row-buffer)
-	Assoc     int        // associativity (paper: 2)
-	HitCycles int        // pipelined hit time in cycles (paper: 1-3 SRAM, 1 row-buffer)
-	Ports     PortConfig // port organization
-	MSHRs     int        // miss status handling registers (paper: 4)
+	Bytes     int        `json:"bytes"`      // capacity, 4 KB .. 1 MB for SRAM, 16 KB for the row-buffer cache
+	LineBytes int        `json:"line_bytes"` // line size (paper: 32 B SRAM, 512 B row-buffer)
+	Assoc     int        `json:"assoc"`      // associativity (paper: 2)
+	HitCycles int        `json:"hit_cycles"` // pipelined hit time in cycles (paper: 1-3 SRAM, 1 row-buffer)
+	Ports     PortConfig `json:"ports"`      // port organization
+	MSHRs     int        `json:"mshrs"`      // miss status handling registers (paper: 4)
 	// Policy selects write-back (default) or write-through stores.
-	Policy WritePolicy
+	Policy WritePolicy `json:"policy"`
 
 	// SectorBytes, when non-zero, makes the cache sectored
 	// (sub-blocked): tags cover whole lines of LineBytes, but each
@@ -46,7 +69,7 @@ type L1Config struct {
 	// economy of long lines without their fetch bandwidth, at the cost
 	// of losing their prefetch effect. Must divide LineBytes and allow
 	// at most 64 sectors per line.
-	SectorBytes int
+	SectorBytes int `json:"sector_bytes,omitempty"`
 
 	// VictimCache adds a small fully-associative victim buffer between
 	// the primary cache and the next level [Joup90]: lines evicted from
@@ -54,18 +77,18 @@ type L1Config struct {
 	// buffer swaps the line back in for one extra cycle instead of
 	// paying the full miss. The paper cites this as the line buffer's
 	// ancestor; it is provided for the comparison ablation.
-	VictimCache bool
+	VictimCache bool `json:"victim_cache,omitempty"`
 	// VictimEntries sizes the victim buffer (default 8 lines).
-	VictimEntries int
+	VictimEntries int `json:"victim_entries,omitempty"`
 
 	// LineBuffer enables the level-zero line buffer in the load/store
 	// unit. LineBufferEntries/BlockBytes default to the paper's 32
 	// entries of 32 bytes when zero.
-	LineBuffer            bool
-	LineBufferEntries     int
-	LineBufferBlockBytes  int
-	StoreBufferEntries    int // depth of the retired-store buffer (default 64)
-	maxStoreDrainPerCycle int // 0 = unlimited (bounded by ports)
+	LineBuffer            bool `json:"line_buffer"`
+	LineBufferEntries     int  `json:"line_buffer_entries,omitempty"`
+	LineBufferBlockBytes  int  `json:"line_buffer_block_bytes,omitempty"`
+	StoreBufferEntries    int  `json:"store_buffer_entries,omitempty"` // depth of the retired-store buffer (default 64)
+	maxStoreDrainPerCycle int  // 0 = unlimited (bounded by ports)
 }
 
 // DefaultL1Config returns the paper's baseline primary data cache: a

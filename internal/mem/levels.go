@@ -78,10 +78,10 @@ type L2Cache struct {
 
 // L2Config sizes the secondary cache.
 type L2Config struct {
-	Bytes     int // capacity (paper: 4 MB)
-	LineBytes int // line size (paper: 64 B)
-	Assoc     int // associativity (paper: 2)
-	HitCycles int // hit latency in processor cycles (paper: 10 at 200 MHz)
+	Bytes     int `json:"bytes"`      // capacity (paper: 4 MB)
+	LineBytes int `json:"line_bytes"` // line size (paper: 64 B)
+	Assoc     int `json:"assoc"`      // associativity (paper: 2)
+	HitCycles int `json:"hit_cycles"` // hit latency in processor cycles (paper: 10 at 200 MHz)
 }
 
 // DefaultL2Config returns the paper's secondary cache at a given hit
@@ -181,10 +181,10 @@ type DRAMCache struct {
 
 // DRAMConfig sizes the on-chip DRAM cache.
 type DRAMConfig struct {
-	Bytes     int // capacity (paper: 4 MB)
-	RowBytes  int // row size, also the fetch unit from memory (paper: 512 B)
-	Assoc     int // associativity of the DRAM cache tags
-	HitCycles int // hit latency in processor cycles (paper: 6-8)
+	Bytes     int `json:"bytes"`      // capacity (paper: 4 MB)
+	RowBytes  int `json:"row_bytes"`  // row size, also the fetch unit from memory (paper: 512 B)
+	Assoc     int `json:"assoc"`      // associativity of the DRAM cache tags
+	HitCycles int `json:"hit_cycles"` // hit latency in processor cycles (paper: 6-8)
 }
 
 // DefaultDRAMConfig returns the paper's DRAM cache at a given hit time.

@@ -35,19 +35,44 @@ func (k PortKind) String() string {
 	}
 }
 
+// MarshalText renders the kind by name, so JSON configs read
+// "duplicate" instead of a bare enum ordinal.
+func (k PortKind) MarshalText() ([]byte, error) {
+	switch k {
+	case IdealPorts, DuplicatePorts, BankedPorts:
+		return []byte(k.String()), nil
+	}
+	return nil, fmt.Errorf("mem: unknown port kind %d", int(k))
+}
+
+// UnmarshalText parses a kind name emitted by MarshalText.
+func (k *PortKind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "ideal":
+		*k = IdealPorts
+	case "duplicate":
+		*k = DuplicatePorts
+	case "banked":
+		*k = BankedPorts
+	default:
+		return fmt.Errorf("mem: unknown port kind %q (want ideal, duplicate, or banked)", text)
+	}
+	return nil
+}
+
 // PortConfig describes the port organization of a cache.
 type PortConfig struct {
-	Kind PortKind
+	Kind PortKind `json:"kind"`
 	// Count is the number of ideal ports or banks. DuplicatePorts is
 	// always two ports and ignores Count.
-	Count int
+	Count int `json:"count,omitempty"`
 	// InterleaveBytes selects the banking granularity: consecutive
 	// chunks of this many bytes map to consecutive banks. Zero selects
 	// line interleaving (the cache's line size), the design of
 	// [Sohi91] and the R10000; setting it to the word size (8) models
 	// word-interleaved banks, which spread a single line's words across
 	// banks.
-	InterleaveBytes int
+	InterleaveBytes int `json:"interleave_bytes,omitempty"`
 }
 
 func (c PortConfig) String() string {

@@ -14,7 +14,10 @@ import (
 // keyVersion tags the canonical encoding. Bump it whenever the meaning
 // of a sim.Config field or the simulator's interpretation of one
 // changes, so stale cached results from older binaries never resurface.
-const keyVersion = "hbcache-job-v1"
+// v2: sim.Config and everything it embeds gained stable snake_case
+// JSON names and textual port-kind/write-policy enums, changing the
+// canonical encoding (and the stored Result encoding) wholesale.
+const keyVersion = "hbcache-job-v2"
 
 // keyEnvelope is what gets hashed: the version string plus the
 // canonicalized config. sim.Config and everything it embeds are plain
@@ -29,16 +32,7 @@ type keyEnvelope struct {
 // simulation share one cache entry: zero instruction windows become the
 // defaults sim.Run would substitute anyway.
 func Canonical(cfg sim.Config) sim.Config {
-	if cfg.PrewarmInsts == 0 {
-		cfg.PrewarmInsts = sim.DefaultPrewarm
-	}
-	if cfg.WarmupInsts == 0 {
-		cfg.WarmupInsts = sim.DefaultWarmup
-	}
-	if cfg.MeasureInsts == 0 {
-		cfg.MeasureInsts = sim.DefaultMeasure
-	}
-	return cfg
+	return cfg.WithDefaults()
 }
 
 // Key returns the content address of a simulation: the hex SHA-256 of

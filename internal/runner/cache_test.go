@@ -3,6 +3,7 @@ package runner
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hbcache/internal/cpu"
@@ -170,5 +171,103 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	}
 	if _, ok := c.Get(key); ok {
 		t.Error("entry with mismatched key reported as a hit")
+	}
+}
+
+// TestCachePutAtomic is the regression test for atomic disk writes: a
+// process killed mid-Put must never leave a torn entry where Get (or a
+// resumed sweep) will find it. Put stages into a temp file and renames,
+// so the visible path either has the old complete content or the new
+// complete content, and staging files are invisible to Get and Len.
+func TestCachePutAtomic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	key := mustKey(t, cfg)
+
+	// Simulate a crash mid-write: a staging file exists but the rename
+	// never happened. Build it the same way Put does.
+	if err := os.MkdirAll(filepath.Dir(c.path(key)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := os.CreateTemp(filepath.Dir(c.path(key)), key+".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := torn.WriteString(`{"Key":"` + key + `","Result":{"ipc":9`); err != nil {
+		t.Fatal(err)
+	}
+	if err := torn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := c.Get(key); ok {
+		t.Fatal("torn staging file visible as a cache hit")
+	}
+	if n, err := c.Len(); err != nil || n != 0 {
+		t.Fatalf("Len = %d, %v; torn staging file must not count as an entry", n, err)
+	}
+
+	// A subsequent Put of the same key succeeds and is complete.
+	want := sim.Result{Benchmark: "gcc", IPC: 1.5}
+	if err := c.Put(key, cfg, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || got != want {
+		t.Fatalf("Get after recovery = %+v, %v; want %+v, true", got, ok, want)
+	}
+
+	// Put leaves no staging litter of its own behind.
+	entries, err := os.ReadDir(filepath.Dir(c.path(key)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmps := 0
+	for _, e := range entries {
+		if e.Name() != key+".json" && e.Name() != filepath.Base(torn.Name()) {
+			tmps++
+		}
+	}
+	if tmps != 0 {
+		t.Errorf("Put left %d unexpected staging files behind", tmps)
+	}
+
+	// Overwriting an existing entry is also atomic: the key stays
+	// readable with one of the two complete values throughout.
+	if err := c.Put(key, cfg, sim.Result{Benchmark: "gcc", IPC: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok = c.Get(key)
+	if !ok || got.IPC != 2.5 {
+		t.Errorf("Get after overwrite = %+v, %v; want IPC 2.5, true", got, ok)
+	}
+}
+
+// TestCacheEntryStableJSON pins the on-disk encoding: entries store the
+// snake_case wire format of sim.Result, so external tooling can read
+// cache files without importing this module.
+func TestCacheEntryStableJSON(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	key := mustKey(t, cfg)
+	if err := c.Put(key, cfg, sim.Result{Benchmark: "gcc", IPC: 1.25, MissesPerInst: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ipc": 1.25`, `"misses_per_inst": 0.5`, `"benchmark": "gcc"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("cache entry missing %s:\n%s", want, raw)
+		}
 	}
 }

@@ -47,19 +47,25 @@ type Options struct {
 	// every completed job. Calls are serialized (never concurrent with
 	// each other), so the callback may write to a terminal unguarded.
 	OnProgress func(Metrics)
+	// Sim, when non-nil, replaces the real simulator. Embedders (the
+	// service's tests, benchmark harnesses) substitute instrumented or
+	// stubbed functions; nil selects sim.Run.
+	Sim func(sim.Config) (sim.Result, error)
 }
 
-// Metrics is a point-in-time snapshot of a Runner's counters.
+// Metrics is a point-in-time snapshot of a Runner's counters. The JSON
+// names are the stable wire format used by progress tooling and the
+// service's API.
 type Metrics struct {
-	Submitted int           // jobs handed to the runner so far
-	Done      int           // jobs finished, by any path below
-	Simulated int           // jobs that actually ran the simulator
-	CacheHits int           // jobs served from the on-disk cache
-	MemoHits  int           // jobs deduplicated against an identical job this process
-	Errors    int           // jobs whose final attempt failed
-	Retries   int           // extra attempts consumed by failing jobs
-	SimWall   time.Duration // cumulative wall time inside the simulator
-	Elapsed   time.Duration // wall time since the runner was created
+	Submitted int           `json:"submitted"`   // jobs handed to the runner so far
+	Done      int           `json:"done"`        // jobs finished, by any path below
+	Simulated int           `json:"simulated"`   // jobs that actually ran the simulator
+	CacheHits int           `json:"cache_hits"`  // jobs served from the on-disk cache
+	MemoHits  int           `json:"memo_hits"`   // jobs deduplicated against an identical job this process
+	Errors    int           `json:"errors"`      // jobs whose final attempt failed
+	Retries   int           `json:"retries"`     // extra attempts consumed by failing jobs
+	SimWall   time.Duration `json:"sim_wall_ns"` // cumulative wall time inside the simulator
+	Elapsed   time.Duration `json:"elapsed_ns"`  // wall time since the runner was created
 }
 
 // Rate is completed jobs per second of runner lifetime (cache and memo
@@ -94,6 +100,14 @@ type Runner struct {
 
 	start time.Time
 
+	// cbMu serializes progress delivery: it is taken before the metrics
+	// snapshot and held through the callbacks, so every subscriber sees
+	// snapshots in non-decreasing Done order, never concurrently. Lock
+	// order is cbMu before mu; nothing takes them in reverse.
+	cbMu      sync.Mutex
+	listeners map[int]func(Metrics)
+	nextLsn   int
+
 	mu      sync.Mutex
 	memo    map[string]*memoEntry
 	metrics Metrics
@@ -113,13 +127,18 @@ func New(opts Options) (*Runner, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	simFn := opts.Sim
+	if simFn == nil {
+		simFn = sim.Run
+	}
 	r := &Runner{
 		workers:    workers,
 		retries:    opts.Retries,
 		onProgress: opts.OnProgress,
-		sim:        sim.Run,
+		sim:        simFn,
 		start:      time.Now(),
 		memo:       map[string]*memoEntry{},
+		listeners:  map[int]func(Metrics){},
 	}
 	if opts.CacheDir != "" {
 		c, err := NewCache(opts.CacheDir)
@@ -133,6 +152,25 @@ func New(opts Options) (*Runner, error) {
 
 // Workers reports the configured pool width.
 func (r *Runner) Workers() int { return r.workers }
+
+// AddListener subscribes fn to the same per-completion metrics
+// snapshots as Options.OnProgress and returns a function that removes
+// the subscription. Deliveries are serialized with each other and with
+// OnProgress, and snapshots arrive in non-decreasing Done order, so a
+// subscriber may publish them (e.g. over SSE) without reordering. The
+// callback must not call back into the Runner's blocking methods.
+func (r *Runner) AddListener(fn func(Metrics)) (remove func()) {
+	r.cbMu.Lock()
+	id := r.nextLsn
+	r.nextLsn++
+	r.listeners[id] = fn
+	r.cbMu.Unlock()
+	return func() {
+		r.cbMu.Lock()
+		delete(r.listeners, id)
+		r.cbMu.Unlock()
+	}
+}
 
 // Metrics returns a snapshot of the runner's counters.
 func (r *Runner) Metrics() Metrics {
@@ -202,11 +240,17 @@ dispatch:
 // RunOne executes a single config synchronously on the calling
 // goroutine, still going through the memo and cache.
 func (r *Runner) RunOne(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+	jr := r.RunJob(ctx, cfg)
+	return jr.Result, jr.Err
+}
+
+// RunJob is RunOne returning the full JobResult, so embedders like the
+// HTTP service can report cache/memo provenance and wall time per job.
+func (r *Runner) RunJob(ctx context.Context, cfg sim.Config) JobResult {
 	r.mu.Lock()
 	r.metrics.Submitted++
 	r.mu.Unlock()
-	jr := r.do(ctx, cfg)
-	return jr.Result, jr.Err
+	return r.do(ctx, cfg)
 }
 
 // do produces the result for one job: memo, then disk cache, then a
@@ -308,8 +352,12 @@ func (r *Runner) simulate(cfg sim.Config) (res sim.Result, err error) {
 }
 
 // finish folds one completed job into the metrics and fires the
-// progress callback with a consistent snapshot.
+// progress callback and listeners with a consistent snapshot. cbMu is
+// taken before the counters are updated so concurrent finishes deliver
+// their snapshots in the order the counters advanced.
 func (r *Runner) finish(jr *JobResult) {
+	r.cbMu.Lock()
+	defer r.cbMu.Unlock()
 	r.mu.Lock()
 	r.metrics.Done++
 	switch {
@@ -325,10 +373,12 @@ func (r *Runner) finish(jr *JobResult) {
 		r.metrics.Errors++
 	}
 	snap := r.snapshotLocked()
-	cb := r.onProgress
 	r.mu.Unlock()
-	if cb != nil {
-		cb(snap)
+	if r.onProgress != nil {
+		r.onProgress(snap)
+	}
+	for _, fn := range r.listeners {
+		fn(snap)
 	}
 }
 

@@ -380,3 +380,92 @@ func TestParallelHelper(t *testing.T) {
 		t.Errorf("error did not stop dispatch (all %d jobs ran)", n)
 	}
 }
+
+// TestAddListener verifies the hook API the HTTP service subscribes to:
+// snapshots arrive serialized in non-decreasing Done order, alongside
+// (not instead of) OnProgress, and removal stops delivery.
+func TestAddListener(t *testing.T) {
+	var onProgress atomic.Int64
+	r := newTest(t, Options{Workers: 8, OnProgress: func(Metrics) { onProgress.Add(1) }})
+
+	var mu sync.Mutex
+	var seen []int
+	remove := r.AddListener(func(m Metrics) {
+		mu.Lock()
+		seen = append(seen, m.Done)
+		mu.Unlock()
+	})
+
+	if _, err := r.Run(context.Background(), stubConfigs(16)); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	got := append([]int(nil), seen...)
+	mu.Unlock()
+	if len(got) != 16 {
+		t.Fatalf("listener saw %d snapshots, want 16", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("snapshots out of order: Done went %d -> %d", got[i-1], got[i])
+		}
+	}
+	if got[len(got)-1] != 16 {
+		t.Errorf("final snapshot Done = %d, want 16", got[len(got)-1])
+	}
+	if onProgress.Load() != 16 {
+		t.Errorf("OnProgress fired %d times, want 16", onProgress.Load())
+	}
+
+	remove()
+	if _, err := r.RunOne(context.Background(), stubConfig(99)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	after := len(seen)
+	mu.Unlock()
+	if after != 16 {
+		t.Errorf("removed listener still saw %d snapshots, want 16", after)
+	}
+}
+
+// TestRunJobProvenance checks the exported single-job API reports
+// cache/memo provenance the way Run's batch results do.
+func TestRunJobProvenance(t *testing.T) {
+	var sims atomic.Int64
+	r, err := New(Options{Workers: 2, CacheDir: t.TempDir(), Sim: func(cfg sim.Config) (sim.Result, error) {
+		sims.Add(1)
+		return stubSim(cfg)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jr := r.RunJob(context.Background(), stubConfig(1))
+	if jr.Err != nil || jr.CacheHit || jr.MemoHit || jr.Attempts != 1 {
+		t.Fatalf("first RunJob = %+v, want one fresh simulation", jr)
+	}
+
+	// Same process, same config: the memo answers.
+	jr = r.RunJob(context.Background(), stubConfig(1))
+	if jr.Err != nil || !jr.MemoHit {
+		t.Fatalf("second RunJob = %+v, want memo hit", jr)
+	}
+
+	// A new runner over the same cache dir: the disk answers.
+	r2, err := New(Options{Workers: 2, CacheDir: r.cache.dir, Sim: func(cfg sim.Config) (sim.Result, error) {
+		t.Error("disk-cached job re-simulated")
+		return stubSim(cfg)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr = r2.RunJob(context.Background(), stubConfig(1))
+	if jr.Err != nil || !jr.CacheHit {
+		t.Fatalf("RunJob on fresh runner = %+v, want disk cache hit", jr)
+	}
+	if sims.Load() != 1 {
+		t.Errorf("simulated %d times across runners, want 1", sims.Load())
+	}
+}

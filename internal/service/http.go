@@ -1,0 +1,257 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hbcache/internal/sim"
+)
+
+// submitRequest is the body of POST /v1/jobs.
+type submitRequest struct {
+	Config sim.Config `json:"config"`
+}
+
+// sweepRequest is the body of POST /v1/sweeps.
+type sweepRequest struct {
+	Configs []sim.Config `json:"configs"`
+}
+
+type submitResponse struct {
+	Job     JobView `json:"job"`
+	Deduped bool    `json:"deduped"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs            {"config": {...}}    submit one config
+//	GET  /v1/jobs                                 list jobs
+//	GET  /v1/jobs/{id}                            job status + result
+//	GET  /v1/jobs/{id}/result                     bare sim result
+//	GET  /v1/jobs/{id}/events                     SSE progress stream
+//	POST /v1/sweeps          {"configs": [...]}   submit a batch
+//	GET  /v1/sweeps/{id}                          sweep status
+//	GET  /v1/sweeps/{id}/events                   SSE progress stream
+//	GET  /healthz                                 liveness (503 while draining)
+//	GET  /metrics                                 Prometheus text format
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps the service's sentinel errors onto HTTP statuses and
+// always carries the description in a JSON body.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalid):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.opts.RetryAfter.Seconds()))))
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return nil
+}
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	view, deduped, err := s.Submit(req.Config)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if deduped {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{Job: view, Deduped: deduped})
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	switch view.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, view.Result)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: view.Error})
+	default:
+		// Not finished; tell the poller to come back.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+func (s *Service) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	view, err := s.SubmitSweep(req.Configs)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Service) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Sweep(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.watchJob(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	defer c.close()
+	s.streamSSE(w, r, c)
+}
+
+func (s *Service) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.watchSweep(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: sweep %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	defer c.close()
+	s.streamSSE(w, r, c)
+}
+
+// sseHeartbeat keeps idle streams alive through proxies that time out
+// silent connections.
+const sseHeartbeat = 15 * time.Second
+
+// streamSSE replays the cursor's history from the client's Last-Event-ID
+// (or the beginning) and then follows it live, one SSE message per
+// event, until the stream's subject reaches a terminal state, the
+// client disconnects, or the service shuts down. Event Seq numbers are
+// the SSE ids, so a dropped client resumes exactly where it left off.
+func (s *Service) streamSSE(w http.ResponseWriter, r *http.Request, c *cursor) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "response writer does not support streaming"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			after = n
+		}
+	}
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	closing := false
+	for {
+		events, terminal := c.eventsAfter(after)
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			after = ev.Seq
+		}
+		if len(events) > 0 {
+			fl.Flush()
+		}
+		if terminal || closing {
+			return
+		}
+		select {
+		case <-c.notify:
+		case <-r.Context().Done():
+			return
+		case <-s.closed:
+			// Drain whatever landed before shutdown, then end cleanly.
+			closing = true
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package service
+
+import (
+	"net/http"
+
+	"hbcache/internal/stats"
+)
+
+// handleMetrics renders the operational metrics catalogue in Prometheus
+// text exposition format: queue pressure, in-flight work, dedup and
+// cache effectiveness, throughput, and the job latency histogram.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rm := s.run.Metrics()
+
+	s.mu.Lock()
+	var p stats.Prom
+	p.Gauge("hbserved_queue_depth", "Accepted jobs waiting for a worker.", float64(len(s.queue)))
+	p.Gauge("hbserved_queue_capacity", "Bound of the job queue.", float64(cap(s.queue)))
+	p.Gauge("hbserved_inflight_sims", "Jobs currently executing.", float64(s.running))
+	draining := 0.0
+	if s.draining {
+		draining = 1
+	}
+	p.Gauge("hbserved_draining", "1 while shutdown is draining jobs.", draining)
+
+	p.Counter("hbserved_jobs_submitted_total", "Jobs accepted into the queue.", float64(s.submitted))
+	p.Counter("hbserved_jobs_deduped_total", "Submissions answered by an existing identical job.", float64(s.deduped))
+	p.Counter("hbserved_jobs_rejected_total", "Submissions refused with 429 because the queue was full.", float64(s.rejected))
+	p.Counter("hbserved_jobs_done_total", "Jobs finished successfully.", float64(s.doneJobs))
+	p.Counter("hbserved_jobs_failed_total", "Jobs finished with an error.", float64(s.failedJobs))
+
+	p.Counter("hbserved_runner_done_total", "Runner jobs completed by any path.", float64(rm.Done))
+	p.Counter("hbserved_runner_simulated_total", "Runner jobs that ran the simulator.", float64(rm.Simulated))
+	p.Counter("hbserved_runner_cache_hits_total", "Runner jobs served from the on-disk result cache.", float64(rm.CacheHits))
+	p.Counter("hbserved_runner_memo_hits_total", "Runner jobs deduplicated in-process.", float64(rm.MemoHits))
+	p.Counter("hbserved_runner_errors_total", "Runner jobs whose final attempt failed.", float64(rm.Errors))
+	p.Counter("hbserved_runner_retries_total", "Extra attempts consumed by failing runner jobs.", float64(rm.Retries))
+	p.Counter("hbserved_runner_sim_seconds_total", "Cumulative wall time inside the simulator.", rm.SimWall.Seconds())
+	p.Gauge("hbserved_cache_hit_ratio", "Fraction of completed runner jobs served without simulating (disk cache + memo).",
+		stats.Ratio(uint64(rm.CacheHits+rm.MemoHits), uint64(rm.Done)))
+	p.Gauge("hbserved_sims_per_second", "Completed runner jobs per second of runner lifetime.", rm.Rate())
+
+	p.Histogram("hbserved_job_latency_seconds", "Wall time from job dispatch to completion (cache hits included).", s.latency)
+	body := p.String()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(body))
+}

@@ -1,0 +1,644 @@
+// Package service exposes the simulator as a long-lived HTTP/JSON
+// service: a bounded job queue with backpressure in front of the
+// parallel runner, cross-request dedup of identical configs on the
+// runner's content-addressed key, REST endpoints to submit single
+// configs or sweep batches and poll their results, Server-Sent-Events
+// streams of per-job and per-sweep progress, and operational endpoints
+// (/healthz, Prometheus /metrics).
+//
+// The design-space studies this repo reproduces are embarrassingly
+// cacheable: many clients asking for overlapping (benchmark × size ×
+// ports × hit-time) points. A shared service amortizes the runner's
+// memo and disk cache across all of them — N clients submitting the
+// same config cost one simulation — while the queue bounds how much
+// work any burst can pile onto the box (full queue = 429 Retry-After,
+// the client's cue to back off).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hbcache/internal/runner"
+	"hbcache/internal/sim"
+	"hbcache/internal/stats"
+)
+
+// Options configure a Service.
+type Options struct {
+	// QueueSize bounds how many accepted jobs may wait for a worker.
+	// A submit that finds the queue full fails with ErrQueueFull (HTTP
+	// 429 + Retry-After). Zero selects 64.
+	QueueSize int
+	// Concurrency is how many jobs execute at once. The runner below
+	// has its own worker pool for batch calls, but the service drives
+	// it through single-job calls, so this is the effective global
+	// simulation concurrency. Zero selects the runner's worker count.
+	Concurrency int
+	// JobTimeout caps one job's wall time, cancelling its context past
+	// the deadline. Zero means no per-job timeout.
+	JobTimeout time.Duration
+	// RetryAfter is the backoff hint returned with 429 responses.
+	// Zero selects one second.
+	RetryAfter time.Duration
+	// MaxTotalInsts, when non-zero, rejects configs whose
+	// prewarm+warmup+measure instruction budget exceeds it — a guard
+	// against a single request monopolizing a shared box.
+	MaxTotalInsts uint64
+}
+
+func (o Options) withDefaults(r *runner.Runner) Options {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 64
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = r.Workers()
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Sentinel errors, mapped onto HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull means the bounded queue has no room; retry later.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining means the service is shutting down and accepts no
+	// new work.
+	ErrDraining = errors.New("service: draining, not accepting new jobs")
+	// ErrInvalid wraps config validation failures.
+	ErrInvalid = errors.New("service: invalid config")
+	// ErrNotFound means no job or sweep has the requested id.
+	ErrNotFound = errors.New("service: not found")
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Event is one entry in a job's or sweep's progress stream. Seq starts
+// at 1 and increases by one per event within a stream, so SSE clients
+// can detect gaps and resume with Last-Event-ID.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"` // "state" (job) or "progress" (sweep)
+
+	// State events.
+	JobID string `json:"job_id,omitempty"`
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	// Progress events (sweeps): counts of member jobs.
+	Done   int `json:"done,omitempty"`
+	Failed int `json:"failed,omitempty"`
+	Total  int `json:"total,omitempty"`
+
+	// Runner, on progress events, is the runner-wide metrics snapshot
+	// taken when the member job finished — cache hits, sims/sec inputs,
+	// cumulative sim wall time.
+	Runner *runner.Metrics `json:"runner,omitempty"`
+}
+
+// JobView is the wire representation of a job.
+type JobView struct {
+	ID       string      `json:"id"`
+	Key      string      `json:"key"`
+	State    State       `json:"state"`
+	Config   sim.Config  `json:"config"`
+	Result   *sim.Result `json:"result,omitempty"`
+	Error    string      `json:"error,omitempty"`
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	MemoHit  bool        `json:"memo_hit,omitempty"`
+	WallNs   int64       `json:"wall_ns,omitempty"`
+}
+
+// JobSummary is the compact listing form.
+type JobSummary struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Benchmark string `json:"benchmark"`
+	Key       string `json:"key"`
+}
+
+// SweepView is the wire representation of a sweep batch. JobIDs is
+// parallel to the submitted configs; configs that deduplicated onto the
+// same job repeat its id. Total counts distinct member jobs.
+type SweepView struct {
+	ID     string   `json:"id"`
+	Total  int      `json:"total"`
+	Done   int      `json:"done"`
+	Failed int      `json:"failed"`
+	JobIDs []string `json:"job_ids"`
+}
+
+// job is the service's mutable record of one submission; all fields
+// are guarded by Service.mu.
+type job struct {
+	id        string
+	key       string
+	cfg       sim.Config
+	state     State
+	res       *sim.Result
+	errMsg    string
+	cacheHit  bool
+	memoHit   bool
+	wall      time.Duration
+	events    []Event
+	watchers  map[int]chan struct{}
+	nextWatch int
+	sweeps    []*sweep
+}
+
+type sweep struct {
+	id        string
+	jobIDs    []string
+	total     int
+	done      int
+	failed    int
+	events    []Event
+	watchers  map[int]chan struct{}
+	nextWatch int
+}
+
+// Service owns the queue, the dedup index, and the job store.
+type Service struct {
+	opts Options
+	run  *runner.Runner
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// closed is closed once Shutdown has drained everything; SSE
+	// streams select on it so a shutdown unblocks idle clients.
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	unsub     func()
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	order      []string
+	byKey      map[string]*job
+	sweeps     map[string]*sweep
+	sweepOrder []string
+	queue      chan *job
+	draining   bool
+	nextJob    int
+	nextSweep  int
+	running    int
+	submitted  uint64
+	deduped    uint64
+	rejected   uint64
+	doneJobs   uint64
+	failedJobs uint64
+	latency    *stats.LatencyHistogram
+	lastRunner runner.Metrics
+}
+
+// New builds a Service over r and starts its workers. Callers must
+// Shutdown to stop them.
+func New(r *runner.Runner, opts Options) *Service {
+	opts = opts.withDefaults(r)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opts:    opts,
+		run:     r,
+		baseCtx: ctx,
+		cancel:  cancel,
+		closed:  make(chan struct{}),
+		jobs:    map[string]*job{},
+		byKey:   map[string]*job{},
+		sweeps:  map[string]*sweep{},
+		queue:   make(chan *job, opts.QueueSize),
+		latency: stats.NewLatencyHistogram(),
+	}
+	s.unsub = r.AddListener(func(m runner.Metrics) {
+		s.mu.Lock()
+		s.lastRunner = m
+		s.mu.Unlock()
+	})
+	for i := 0; i < opts.Concurrency; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// RetryAfter reports the configured 429 backoff hint.
+func (s *Service) RetryAfter() time.Duration { return s.opts.RetryAfter }
+
+func (s *Service) validate(cfg sim.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if max := s.opts.MaxTotalInsts; max > 0 {
+		total := cfg.PrewarmInsts + cfg.WarmupInsts + cfg.MeasureInsts
+		if total > max {
+			return fmt.Errorf("%w: %d total instructions exceeds this server's limit of %d", ErrInvalid, total, max)
+		}
+	}
+	return nil
+}
+
+// Submit validates and enqueues one config. A config identical (after
+// canonicalization) to any previously accepted job deduplicates onto
+// that job — the returned bool reports it — without consuming a queue
+// slot. A full queue fails with ErrQueueFull; a draining service with
+// ErrDraining.
+func (s *Service) Submit(cfg sim.Config) (JobView, bool, error) {
+	cfg = cfg.WithDefaults()
+	if err := s.validate(cfg); err != nil {
+		return JobView{}, false, err
+	}
+	key, err := runner.Key(cfg)
+	if err != nil {
+		return JobView{}, false, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j := s.byKey[key]; j != nil {
+		s.deduped++
+		return s.viewLocked(j), true, nil
+	}
+	j, err := s.admitLocked(cfg, key)
+	if err != nil {
+		return JobView{}, false, err
+	}
+	return s.viewLocked(j), false, nil
+}
+
+// admitLocked creates and enqueues a job, or reports why it cannot.
+func (s *Service) admitLocked(cfg sim.Config, key string) (*job, error) {
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.rejected++
+		return nil, ErrQueueFull
+	}
+	s.nextJob++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.nextJob),
+		key:      key,
+		cfg:      cfg,
+		state:    StateQueued,
+		watchers: map[int]chan struct{}{},
+	}
+	s.jobs[j.id] = j
+	s.byKey[key] = j
+	s.order = append(s.order, j.id)
+	s.submitted++
+	s.appendJobEventLocked(j, Event{Type: "state", State: StateQueued})
+	s.queue <- j // cannot block: len checked under the same lock as all sends
+	return j, nil
+}
+
+// SubmitSweep validates and enqueues a batch. Admission is atomic: if
+// the queue cannot hold every genuinely new job, nothing is enqueued
+// and the whole batch fails with ErrQueueFull. Configs that dedup onto
+// existing jobs (or onto each other within the batch) share one job and
+// need no queue slot.
+func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
+	if len(cfgs) == 0 {
+		return SweepView{}, fmt.Errorf("%w: sweep needs at least one config", ErrInvalid)
+	}
+	keys := make([]string, len(cfgs))
+	for i := range cfgs {
+		cfgs[i] = cfgs[i].WithDefaults()
+		if err := s.validate(cfgs[i]); err != nil {
+			return SweepView{}, fmt.Errorf("config %d: %w", i, err)
+		}
+		k, err := runner.Key(cfgs[i])
+		if err != nil {
+			return SweepView{}, fmt.Errorf("config %d: %w: %v", i, ErrInvalid, err)
+		}
+		keys[i] = k
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return SweepView{}, ErrDraining
+	}
+	fresh := 0
+	inBatch := map[string]bool{}
+	for _, k := range keys {
+		if s.byKey[k] == nil && !inBatch[k] {
+			fresh++
+			inBatch[k] = true
+		}
+	}
+	if cap(s.queue)-len(s.queue) < fresh {
+		s.rejected++
+		return SweepView{}, ErrQueueFull
+	}
+
+	s.nextSweep++
+	sw := &sweep{
+		id:       fmt.Sprintf("sweep-%06d", s.nextSweep),
+		watchers: map[int]chan struct{}{},
+	}
+	members := map[string]*job{}
+	for i, k := range keys {
+		j := s.byKey[k]
+		if j == nil {
+			var err error
+			j, err = s.admitLocked(cfgs[i], k)
+			if err != nil {
+				// Unreachable: capacity was reserved above and draining
+				// is checked under the same lock.
+				return SweepView{}, err
+			}
+		} else if members[k] == nil {
+			s.deduped++
+		}
+		sw.jobIDs = append(sw.jobIDs, j.id)
+		if members[k] == nil {
+			members[k] = j
+			sw.total++
+			if j.state.Terminal() {
+				// Already finished before this sweep existed: count it
+				// now; it will never fire a completion for us.
+				if j.state == StateFailed {
+					sw.failed++
+				} else {
+					sw.done++
+				}
+			} else {
+				j.sweeps = append(j.sweeps, sw)
+			}
+		}
+	}
+	s.sweeps[sw.id] = sw
+	s.sweepOrder = append(s.sweepOrder, sw.id)
+	if sw.done+sw.failed > 0 {
+		s.appendSweepEventLocked(sw, Event{Type: "progress", Done: sw.done, Failed: sw.failed, Total: sw.total})
+	}
+	return s.sweepViewLocked(sw), nil
+}
+
+// runJob executes one queued job on a worker goroutine.
+func (s *Service) runJob(j *job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	s.running++
+	s.appendJobEventLocked(j, Event{Type: "state", State: StateRunning})
+	s.mu.Unlock()
+
+	ctx := s.baseCtx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	jr := s.run.RunJob(ctx, j.cfg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	j.wall = jr.Wall
+	j.cacheHit, j.memoHit = jr.CacheHit, jr.MemoHit
+	if jr.Err != nil {
+		j.state = StateFailed
+		j.errMsg = jr.Err.Error()
+		s.failedJobs++
+	} else {
+		j.state = StateDone
+		res := jr.Result
+		j.res = &res
+		s.doneJobs++
+	}
+	s.latency.Observe(jr.Wall.Seconds())
+	s.appendJobEventLocked(j, Event{Type: "state", State: j.state, Error: j.errMsg})
+
+	rm := s.lastRunner
+	for _, sw := range j.sweeps {
+		if j.state == StateFailed {
+			sw.failed++
+		} else {
+			sw.done++
+		}
+		s.appendSweepEventLocked(sw, Event{
+			Type: "progress", JobID: j.id,
+			Done: sw.done, Failed: sw.failed, Total: sw.total,
+			Runner: &rm,
+		})
+	}
+	j.sweeps = nil
+}
+
+func (s *Service) appendJobEventLocked(j *job, ev Event) {
+	ev.Seq = len(j.events) + 1
+	ev.JobID = j.id
+	j.events = append(j.events, ev)
+	notify(j.watchers)
+}
+
+func (s *Service) appendSweepEventLocked(sw *sweep, ev Event) {
+	ev.Seq = len(sw.events) + 1
+	sw.events = append(sw.events, ev)
+	notify(sw.watchers)
+}
+
+func notify(watchers map[int]chan struct{}) {
+	for _, ch := range watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // already pending; the watcher will re-read anyway
+		}
+	}
+}
+
+func (s *Service) viewLocked(j *job) JobView {
+	return JobView{
+		ID:       j.id,
+		Key:      j.key,
+		State:    j.state,
+		Config:   j.cfg,
+		Result:   j.res,
+		Error:    j.errMsg,
+		CacheHit: j.cacheHit,
+		MemoHit:  j.memoHit,
+		WallNs:   j.wall.Nanoseconds(),
+	}
+}
+
+func (s *Service) sweepViewLocked(sw *sweep) SweepView {
+	return SweepView{
+		ID:     sw.id,
+		Total:  sw.total,
+		Done:   sw.done,
+		Failed: sw.failed,
+		JobIDs: append([]string(nil), sw.jobIDs...),
+	}
+}
+
+// Job returns the current view of a job.
+func (s *Service) Job(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobView{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	return s.viewLocked(j), nil
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Service) Jobs() []JobSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobSummary, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		out = append(out, JobSummary{ID: j.id, State: j.state, Benchmark: j.cfg.Benchmark, Key: j.key})
+	}
+	return out
+}
+
+// Sweep returns the current view of a sweep.
+func (s *Service) Sweep(id string) (SweepView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.sweeps[id]
+	if sw == nil {
+		return SweepView{}, fmt.Errorf("%w: sweep %q", ErrNotFound, id)
+	}
+	return s.sweepViewLocked(sw), nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// cursor follows one job's or sweep's event stream.
+type cursor struct {
+	s      *Service
+	jobID  string
+	sweep  string
+	notify chan struct{}
+	id     int
+}
+
+// watchJob subscribes to a job's events; ok is false for unknown ids.
+func (s *Service) watchJob(id string) (*cursor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, false
+	}
+	c := &cursor{s: s, jobID: id, notify: make(chan struct{}, 1), id: j.nextWatch}
+	j.nextWatch++
+	j.watchers[c.id] = c.notify
+	return c, true
+}
+
+// watchSweep subscribes to a sweep's events.
+func (s *Service) watchSweep(id string) (*cursor, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.sweeps[id]
+	if sw == nil {
+		return nil, false
+	}
+	c := &cursor{s: s, sweep: id, notify: make(chan struct{}, 1), id: sw.nextWatch}
+	sw.nextWatch++
+	sw.watchers[c.id] = c.notify
+	return c, true
+}
+
+// eventsAfter returns events with Seq > after and whether the stream is
+// complete (its subject reached a terminal state).
+func (c *cursor) eventsAfter(after int) ([]Event, bool) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.jobID != "" {
+		j := c.s.jobs[c.jobID]
+		return tail(j.events, after), j.state.Terminal()
+	}
+	sw := c.s.sweeps[c.sweep]
+	return tail(sw.events, after), sw.done+sw.failed == sw.total
+}
+
+func tail(events []Event, after int) []Event {
+	if after >= len(events) {
+		return nil
+	}
+	return append([]Event(nil), events[after:]...)
+}
+
+func (c *cursor) close() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if c.jobID != "" {
+		if j := c.s.jobs[c.jobID]; j != nil {
+			delete(j.watchers, c.id)
+		}
+		return
+	}
+	if sw := c.s.sweeps[c.sweep]; sw != nil {
+		delete(sw.watchers, c.id)
+	}
+}
+
+// Shutdown stops intake and drains: every accepted job — queued or in
+// flight — runs to completion and remains fetchable, then workers exit.
+// If ctx expires first, the base context is cancelled so undispatched
+// jobs fail fast, and Shutdown still waits for the workers (a running
+// simulation cannot be interrupted mid-flight) before returning ctx's
+// error. Safe to call more than once.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	if first {
+		s.draining = true
+		close(s.queue) // no sends can race: all sends hold mu and check draining
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel()
+		<-done
+	}
+	s.closeOnce.Do(func() {
+		s.unsub()
+		s.cancel()
+		close(s.closed)
+	})
+	return err
+}
+
+// Closed reports a channel that closes when Shutdown has fully drained,
+// for anything (SSE streams, the binary's serve loop) that must not
+// outlive the service.
+func (s *Service) Closed() <-chan struct{} { return s.closed }

@@ -1,0 +1,732 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/runner"
+	"hbcache/internal/sim"
+)
+
+// testConfig builds a distinct valid config per index.
+func testConfig(i int) sim.Config {
+	return sim.Config{
+		Benchmark:    "gcc",
+		Seed:         uint64(i + 1),
+		CPU:          cpu.DefaultConfig(),
+		Memory:       mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true),
+		MeasureInsts: 1000,
+	}
+}
+
+// stubSim derives a deterministic result from the config alone.
+func stubSim(cfg sim.Config) (sim.Result, error) {
+	return sim.Result{Benchmark: cfg.Benchmark, Cycles: cfg.Seed * 10, IPC: float64(cfg.Seed)}, nil
+}
+
+// newTestServer wires a stubbed runner, a service, and an httptest
+// server, and tears all three down in order (service first, so SSE
+// handlers finish before the listener closes).
+func newTestServer(t *testing.T, simFn func(sim.Config) (sim.Result, error), opts Options) (*Service, *httptest.Server) {
+	t.Helper()
+	r, err := runner.New(runner.Options{Workers: 4, Sim: simFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(r, opts)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+		ts.Close()
+	})
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, b)
+		}
+	}
+	return resp
+}
+
+// waitState polls until the job reaches a terminal state.
+func waitState(t *testing.T, svc *Service, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		view, err := svc.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.State.Terminal() {
+			return view
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobView{}
+}
+
+// TestDedupConcurrentSubmits is the acceptance test for cross-request
+// dedup: N identical configs submitted concurrently share one job and
+// run exactly one simulation.
+func TestDedupConcurrentSubmits(t *testing.T) {
+	var sims atomic.Int64
+	release := make(chan struct{})
+	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+		sims.Add(1)
+		<-release
+		return stubSim(cfg)
+	}, Options{QueueSize: 8, Concurrency: 4})
+
+	const n = 20
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ids      = map[string]int{}
+		statuses = map[int]int{}
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(0)})
+			var sr submitResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				t.Errorf("decoding submit response: %v\n%s", err, body)
+				return
+			}
+			mu.Lock()
+			ids[sr.Job.ID]++
+			statuses[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	if len(ids) != 1 {
+		t.Fatalf("%d identical submits created %d distinct jobs: %v", n, len(ids), ids)
+	}
+	if statuses[http.StatusAccepted] != 1 || statuses[http.StatusOK] != n-1 {
+		t.Errorf("statuses = %v, want one 202 and %d 200s", statuses, n-1)
+	}
+
+	close(release)
+	var id string
+	for k := range ids {
+		id = k
+	}
+	view := waitState(t, svc, id)
+	if view.State != StateDone || view.Result == nil {
+		t.Fatalf("job finished as %+v, want done with result", view)
+	}
+	if got := sims.Load(); got != 1 {
+		t.Errorf("%d identical submissions ran %d simulations, want exactly 1", n, got)
+	}
+
+	// A submit after completion still dedups and carries the result.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(0)})
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !sr.Deduped || sr.Job.Result == nil {
+		t.Errorf("post-completion submit = %d %+v, want 200 deduped with result", resp.StatusCode, sr)
+	}
+}
+
+// TestQueueFullBackpressure is the acceptance test for bounded-queue
+// backpressure: a full queue answers 429 with a Retry-After hint, and
+// dedup submissions still succeed because they need no slot.
+func TestQueueFullBackpressure(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	_, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+		started <- struct{}{}
+		<-release
+		return stubSim(cfg)
+	}, Options{QueueSize: 2, Concurrency: 1, RetryAfter: 7 * time.Second})
+	defer close(release)
+
+	// First job occupies the lone worker...
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(0)})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 0 = %d, want 202", resp.StatusCode)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first job never started")
+	}
+	// ...the next two fill the queue...
+	for i := 1; i <= 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(i)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202: %s", i, resp.StatusCode, body)
+		}
+	}
+	// ...and a fourth distinct config bounces with 429 + Retry-After.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(3)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit to full queue = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want %q", got, "7")
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || !strings.Contains(er.Error, "queue full") {
+		t.Errorf("429 body = %s, want JSON error mentioning the queue", body)
+	}
+
+	// Identical to a queued config: dedups without needing a slot.
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(2)})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("dedup submit against full queue = %d, want 200", resp.StatusCode)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	ID    int
+	Name  string
+	Event Event
+}
+
+// readSSE consumes a stream until EOF (the server closes terminal
+// streams) and returns the parsed events.
+func readSSE(t *testing.T, body io.Reader) []sseEvent {
+	t.Helper()
+	var (
+		events []sseEvent
+		cur    sseEvent
+		have   bool
+	)
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if have {
+				events = append(events, cur)
+				cur, have = sseEvent{}, false
+			}
+		case strings.HasPrefix(line, ":"): // comment/heartbeat
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(line, "id: %d", &cur.ID)
+			have = true
+		case strings.HasPrefix(line, "event: "):
+			cur.Name = strings.TrimPrefix(line, "event: ")
+			have = true
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.Event); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			have = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return events
+}
+
+// TestSSEJobStream is the acceptance test for streaming progress: the
+// job stream delivers queued → running → done with strictly increasing
+// seq, live (the terminal event arrives only after the simulation is
+// released).
+func TestSSEJobStream(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+		<-release
+		return stubSim(cfg)
+	}, Options{QueueSize: 4, Concurrency: 1})
+
+	_, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(0)})
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sr.Job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	// Let the stream attach before the job can finish, so the final
+	// event is delivered live rather than replayed.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	events := readSSE(t, resp.Body)
+	if len(events) < 3 {
+		t.Fatalf("got %d events %+v, want at least queued/running/done", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.Event.Seq != i+1 {
+			t.Errorf("event %d has seq %d, want %d (monotonically increasing by one)", i, ev.Event.Seq, i+1)
+		}
+		if ev.ID != ev.Event.Seq {
+			t.Errorf("SSE id %d != seq %d", ev.ID, ev.Event.Seq)
+		}
+	}
+	states := make([]State, len(events))
+	for i, ev := range events {
+		states[i] = ev.Event.State
+	}
+	want := []State{StateQueued, StateRunning, StateDone}
+	if len(states) != 3 || states[0] != want[0] || states[1] != want[1] || states[2] != want[2] {
+		t.Errorf("states = %v, want %v", states, want)
+	}
+}
+
+// TestSSESweepStream checks sweep progress events: done counts are
+// non-decreasing, seq strictly increasing, and the stream terminates
+// when every member job finishes.
+func TestSSESweepStream(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+		<-release
+		return stubSim(cfg)
+	}, Options{QueueSize: 16, Concurrency: 3})
+
+	const n = 5
+	cfgs := make([]sim.Config, n)
+	for i := range cfgs {
+		cfgs[i] = testConfig(i)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", sweepRequest{Configs: cfgs})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d: %s", resp.StatusCode, body)
+	}
+	var sv SweepView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Total != n || len(sv.JobIDs) != n {
+		t.Fatalf("sweep view = %+v, want total %d", sv, n)
+	}
+
+	stream, err := http.Get(ts.URL + "/v1/sweeps/" + sv.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	close(release)
+
+	events := readSSE(t, stream.Body)
+	if len(events) != n {
+		t.Fatalf("got %d progress events, want %d", len(events), n)
+	}
+	prevDone := 0
+	for i, ev := range events {
+		if ev.Event.Seq != i+1 {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Event.Seq, i+1)
+		}
+		if ev.Name != "progress" {
+			t.Errorf("event %d name = %q, want progress", i, ev.Name)
+		}
+		if ev.Event.Done < prevDone {
+			t.Errorf("done count went backwards: %d -> %d", prevDone, ev.Event.Done)
+		}
+		if ev.Event.Total != n {
+			t.Errorf("event %d total = %d, want %d", i, ev.Event.Total, n)
+		}
+		prevDone = ev.Event.Done
+	}
+	if prevDone != n {
+		t.Errorf("final done = %d, want %d", prevDone, n)
+	}
+
+	var got SweepView
+	getJSON(t, ts.URL+"/v1/sweeps/"+sv.ID, &got)
+	if got.Done != n || got.Failed != 0 {
+		t.Errorf("final sweep = %+v, want %d done", got, n)
+	}
+}
+
+// TestSweepDedup: duplicate configs inside a batch and overlaps with
+// existing jobs share jobs; total counts distinct members.
+func TestSweepDedup(t *testing.T) {
+	svc, ts := newTestServer(t, stubSim, Options{QueueSize: 16, Concurrency: 2})
+
+	view, _, err := svc.Submit(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, view.ID)
+
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", sweepRequest{
+		Configs: []sim.Config{testConfig(0), testConfig(1), testConfig(1), testConfig(2)},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep = %d: %s", resp.StatusCode, body)
+	}
+	var sv SweepView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Total != 3 {
+		t.Errorf("total = %d, want 3 distinct jobs for 4 configs", sv.Total)
+	}
+	if len(sv.JobIDs) != 4 || sv.JobIDs[1] != sv.JobIDs[2] {
+		t.Errorf("job ids = %v, want duplicates sharing an id", sv.JobIDs)
+	}
+	if sv.JobIDs[0] != view.ID {
+		t.Errorf("sweep member %s does not reuse pre-existing job %s", sv.JobIDs[0], view.ID)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got SweepView
+		getJSON(t, ts.URL+"/v1/sweeps/"+sv.ID, &got)
+		if got.Done == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck at %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestShutdownDrains is the acceptance test for graceful shutdown:
+// draining refuses new work with 503 but completes accepted jobs, whose
+// results remain fetchable.
+func TestShutdownDrains(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return stubSim(cfg)
+	}, Options{QueueSize: 8, Concurrency: 1})
+
+	// One in flight, two queued.
+	var jobIDs []string
+	for i := 0; i < 3; i++ {
+		_, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(i)})
+		var sr submitResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		jobIDs = append(jobIDs, sr.Job.ID)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no job started")
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- svc.Shutdown(ctx)
+	}()
+
+	// Draining: health flips to 503 and new submissions are refused.
+	waitFor(t, func() bool { return svc.Draining() })
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(9)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503: %s", resp.StatusCode, body)
+	}
+
+	close(release)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+
+	// Every accepted job — including the two that were still queued when
+	// shutdown began — finished with a result, and the HTTP layer still
+	// serves them.
+	for _, id := range jobIDs {
+		var view JobView
+		if resp := getJSON(t, ts.URL+"/v1/jobs/"+id, &view); resp.StatusCode != http.StatusOK {
+			t.Fatalf("get %s after drain = %d", id, resp.StatusCode)
+		}
+		if view.State != StateDone || view.Result == nil {
+			t.Errorf("job %s after drain = %s, want done with result", id, view.State)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestValidationErrors: bad configs and bad bodies fail with 400 and a
+// descriptive message before touching the queue.
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, stubSim, Options{QueueSize: 4, MaxTotalInsts: 10_000_000})
+
+	tests := []struct {
+		name     string
+		body     any
+		raw      string
+		wantCode int
+		wantMsg  string
+	}{
+		{name: "unknown benchmark", body: submitRequest{Config: func() sim.Config {
+			c := testConfig(0)
+			c.Benchmark = "doom"
+			return c
+		}()}, wantCode: 400, wantMsg: "unknown benchmark"},
+		{name: "zero-size cache", body: submitRequest{Config: func() sim.Config {
+			c := testConfig(0)
+			c.Memory.L1.Bytes = 0
+			return c
+		}()}, wantCode: 400, wantMsg: "geometry"},
+		{name: "instruction budget", body: submitRequest{Config: func() sim.Config {
+			c := testConfig(0)
+			c.MeasureInsts = 1 << 40
+			return c
+		}()}, wantCode: 400, wantMsg: "exceeds this server's limit"},
+		{name: "malformed JSON", raw: `{"config":`, wantCode: 400, wantMsg: "unexpected EOF"},
+		{name: "unknown field", raw: `{"cfg":{}}`, wantCode: 400, wantMsg: "unknown field"},
+		{name: "bad port kind", raw: `{"config":{"benchmark":"gcc","memory":{"l1":{"ports":{"kind":"psychic"}}}}}`,
+			wantCode: 400, wantMsg: "unknown port kind"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var resp *http.Response
+			var body []byte
+			if tt.raw != "" {
+				r, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tt.raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Body.Close()
+				body, _ = io.ReadAll(r.Body)
+				resp = r
+			} else {
+				resp, body = postJSON(t, ts.URL+"/v1/jobs", tt.body)
+			}
+			if resp.StatusCode != tt.wantCode {
+				t.Fatalf("status = %d, want %d: %s", resp.StatusCode, tt.wantCode, body)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Fatalf("error body is not JSON: %s", body)
+			}
+			if !strings.Contains(er.Error, tt.wantMsg) {
+				t.Errorf("error = %q, want substring %q", er.Error, tt.wantMsg)
+			}
+		})
+	}
+
+	// An empty sweep is invalid too.
+	resp, _ := postJSON(t, ts.URL+"/v1/sweeps", sweepRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sweep = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestResultEndpointAndNotFound covers polling semantics and 404s.
+func TestResultEndpointAndNotFound(t *testing.T) {
+	release := make(chan struct{})
+	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+		<-release
+		return stubSim(cfg)
+	}, Options{QueueSize: 4, Concurrency: 1})
+
+	_, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(0)})
+	var sr submitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unfinished: 202 with a Retry-After hint.
+	resp := getJSON(t, ts.URL+"/v1/jobs/"+sr.Job.ID+"/result", nil)
+	if resp.StatusCode != http.StatusAccepted || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("pending result = %d (Retry-After %q), want 202 with hint", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	close(release)
+	waitState(t, svc, sr.Job.ID)
+	var res sim.Result
+	if resp := getJSON(t, ts.URL+"/v1/jobs/"+sr.Job.ID+"/result", &res); resp.StatusCode != http.StatusOK {
+		t.Errorf("finished result = %d, want 200", resp.StatusCode)
+	}
+	if res.Benchmark != "gcc" || res.IPC != 1 {
+		t.Errorf("result = %+v, want the stub's gcc result", res)
+	}
+
+	for _, url := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/events", "/v1/sweeps/nope"} {
+		if resp := getJSON(t, ts.URL+url, nil); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", url, resp.StatusCode)
+		}
+	}
+
+	// Job listing includes our job.
+	var list []JobSummary
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list) != 1 || list[0].ID != sr.Job.ID || list[0].State != StateDone {
+		t.Errorf("job list = %+v, want the one finished job", list)
+	}
+}
+
+// TestFailedJobSurfacesError: a simulation error lands in the job view,
+// the result endpoint, and the failure counters.
+func TestFailedJobSurfacesError(t *testing.T) {
+	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+		return sim.Result{}, fmt.Errorf("synthetic meltdown")
+	}, Options{QueueSize: 4, Concurrency: 1})
+
+	view, _, err := svc.Submit(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, svc, view.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "synthetic meltdown") {
+		t.Fatalf("job = %+v, want failed with the sim error", got)
+	}
+	resp := getJSON(t, ts.URL+"/v1/jobs/"+view.ID+"/result", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("failed job result = %d, want 500", resp.StatusCode)
+	}
+	metrics := fetchMetrics(t, ts)
+	if !strings.Contains(metrics, "hbserved_jobs_failed_total 1") {
+		t.Errorf("metrics missing failed counter:\n%s", metrics)
+	}
+}
+
+func fetchMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	return string(b)
+}
+
+// TestMetricsEndpoint spot-checks the catalogue after known traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	svc, ts := newTestServer(t, stubSim, Options{QueueSize: 9, Concurrency: 2})
+
+	view, _, err := svc.Submit(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, view.ID)
+	if _, deduped, err := svc.Submit(testConfig(0)); err != nil || !deduped {
+		t.Fatalf("second submit deduped=%v err=%v, want dedup", deduped, err)
+	}
+
+	m := fetchMetrics(t, ts)
+	for _, want := range []string{
+		"hbserved_queue_capacity 9",
+		"hbserved_queue_depth 0",
+		"hbserved_inflight_sims 0",
+		"hbserved_draining 0",
+		"hbserved_jobs_submitted_total 1",
+		"hbserved_jobs_deduped_total 1",
+		"hbserved_jobs_done_total 1",
+		"hbserved_runner_simulated_total 1",
+		"hbserved_job_latency_seconds_count 1",
+		"hbserved_sims_per_second ",
+		`hbserved_job_latency_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("metrics missing %q:\n%s", want, m)
+		}
+	}
+
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSSEResume: a client reconnecting with Last-Event-ID skips the
+// events it already saw.
+func TestSSEResume(t *testing.T) {
+	svc, ts := newTestServer(t, stubSim, Options{QueueSize: 4, Concurrency: 1})
+
+	view, _, err := svc.Submit(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, view.ID)
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+view.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp.Body)
+	if len(events) != 1 || events[0].Event.Seq != 3 || events[0].Event.State != StateDone {
+		t.Errorf("resumed stream = %+v, want only the final event (seq 3)", events)
+	}
+}

@@ -15,22 +15,25 @@ import (
 	"hbcache/internal/workload"
 )
 
-// Config is one simulation run.
+// Config is one simulation run. The JSON field names are the stable
+// wire format of the service API and the runner's disk cache; renaming
+// one is a compatibility break and requires a runner cache-key version
+// bump.
 type Config struct {
-	Benchmark string
-	Seed      uint64
+	Benchmark string `json:"benchmark"`
+	Seed      uint64 `json:"seed"`
 
-	CPU    cpu.Config
-	Memory mem.SystemConfig
+	CPU    cpu.Config       `json:"cpu"`
+	Memory mem.SystemConfig `json:"memory"`
 
 	// PrewarmInsts instructions are streamed through the cache tag
 	// arrays (no timing) before simulation so the measured window sees
 	// steady-state miss rates, standing in for the paper's >100M
 	// instruction runs. WarmupInsts then retire on the timing model
 	// before counters reset, and MeasureInsts are measured.
-	PrewarmInsts uint64
-	WarmupInsts  uint64
-	MeasureInsts uint64
+	PrewarmInsts uint64 `json:"prewarm_insts"`
+	WarmupInsts  uint64 `json:"warmup_insts"`
+	MeasureInsts uint64 `json:"measure_insts"`
 }
 
 // DefaultWarmup and DefaultMeasure size the measurement window. The
@@ -44,24 +47,69 @@ const (
 	DefaultMeasure = 300_000
 )
 
-// Result carries the measurements of one run.
+// Result carries the measurements of one run. Like Config, the JSON
+// field names are a stable wire format.
 type Result struct {
-	Benchmark    string
-	Cycles       uint64
-	Instructions uint64
-	IPC          float64
+	Benchmark    string  `json:"benchmark"`
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
 
 	// MissesPerInst counts primary-cache load and store misses per
 	// retired instruction (Figure 3's metric).
-	MissesPerInst float64
+	MissesPerInst float64 `json:"misses_per_inst"`
 	// LineBufferHitRate is line-buffer hits per load, 0 without one.
-	LineBufferHitRate float64
+	LineBufferHitRate float64 `json:"line_buffer_hit_rate"`
 	// BranchAccuracy is the predictor's correct fraction.
-	BranchAccuracy float64
+	BranchAccuracy float64 `json:"branch_accuracy"`
 	// MeanLoadLatency is the average load issue-to-data latency.
-	MeanLoadLatency float64
+	MeanLoadLatency float64 `json:"mean_load_latency"`
 
-	CPUStats cpu.Stats
+	CPUStats cpu.Stats `json:"cpu_stats"`
+}
+
+// WithDefaults returns c with zero instruction windows replaced by the
+// package defaults, exactly as Run would interpret them. Boundaries
+// (CLI flags, the service API) resolve a config with WithDefaults
+// before validating or content-addressing it.
+func (c Config) WithDefaults() Config {
+	if c.PrewarmInsts == 0 {
+		c.PrewarmInsts = DefaultPrewarm
+	}
+	if c.WarmupInsts == 0 {
+		c.WarmupInsts = DefaultWarmup
+	}
+	if c.MeasureInsts == 0 {
+		c.MeasureInsts = DefaultMeasure
+	}
+	return c
+}
+
+// Validate reports whether a resolved config can simulate, with the
+// descriptive error a client can act on: unknown benchmark names list
+// the known ones, zero-size or misshapen caches name the offending
+// dimension, and zero instruction windows are rejected (apply
+// WithDefaults first if zero should mean "default"). It dry-runs the
+// workload, memory-system, and CPU constructors, so it agrees exactly
+// with Run instead of failing deep inside the simulator after the
+// multi-hundred-thousand-instruction prewarm.
+func (c Config) Validate() error {
+	gen, err := workload.New(c.Benchmark, c.Seed)
+	if err != nil {
+		return fmt.Errorf("sim: invalid config: %w", err)
+	}
+	if c.PrewarmInsts == 0 || c.WarmupInsts == 0 || c.MeasureInsts == 0 {
+		return fmt.Errorf("sim: invalid config: instruction windows must be positive, got prewarm=%d warmup=%d measure=%d (zero means \"use default\" only via WithDefaults)",
+			c.PrewarmInsts, c.WarmupInsts, c.MeasureInsts)
+	}
+	sys, err := mem.NewSystem(c.Memory)
+	if err != nil {
+		return fmt.Errorf("sim: invalid config: %w", err)
+	}
+	if _, err := cpu.New(c.CPU, gen, sys.L1); err != nil {
+		return fmt.Errorf("sim: invalid config: %w", err)
+	}
+	return nil
 }
 
 // Run executes one simulation.
@@ -74,16 +122,8 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg = cfg.WithDefaults()
 	prewarm, warmup, measure := cfg.PrewarmInsts, cfg.WarmupInsts, cfg.MeasureInsts
-	if prewarm == 0 {
-		prewarm = DefaultPrewarm
-	}
-	if warmup == 0 {
-		warmup = DefaultWarmup
-	}
-	if measure == 0 {
-		measure = DefaultMeasure
-	}
 
 	// Pre-warm to steady state, standing in for the paper's
 	// >100M-instruction runs. First every region is swept through the

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+)
+
+func validConfig() Config {
+	return Config{
+		Benchmark: "gcc",
+		Seed:      1,
+		CPU:       cpu.DefaultConfig(),
+		Memory:    mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true),
+	}.WithDefaults()
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.PrewarmInsts != DefaultPrewarm || c.WarmupInsts != DefaultWarmup || c.MeasureInsts != DefaultMeasure {
+		t.Errorf("WithDefaults() = %d/%d/%d, want %d/%d/%d",
+			c.PrewarmInsts, c.WarmupInsts, c.MeasureInsts,
+			DefaultPrewarm, DefaultWarmup, DefaultMeasure)
+	}
+	// Explicit windows survive.
+	c = Config{PrewarmInsts: 1, WarmupInsts: 2, MeasureInsts: 3}.WithDefaults()
+	if c.PrewarmInsts != 1 || c.WarmupInsts != 2 || c.MeasureInsts != 3 {
+		t.Errorf("WithDefaults() clobbered explicit windows: %+v", c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"baseline", func(c *Config) {}, ""},
+		{"unknown benchmark", func(c *Config) { c.Benchmark = "doom" }, "unknown benchmark"},
+		{"empty benchmark", func(c *Config) { c.Benchmark = "" }, "unknown benchmark"},
+		{"zero measure window", func(c *Config) { c.MeasureInsts = 0 }, "instruction windows"},
+		{"zero warmup window", func(c *Config) { c.WarmupInsts = 0 }, "instruction windows"},
+		{"zero prewarm window", func(c *Config) { c.PrewarmInsts = 0 }, "instruction windows"},
+		{"zero-size L1", func(c *Config) { c.Memory.L1.Bytes = 0 }, "geometry"},
+		{"negative L1", func(c *Config) { c.Memory.L1.Bytes = -4096 }, "geometry"},
+		{"zero L1 line", func(c *Config) { c.Memory.L1.LineBytes = 0 }, "geometry"},
+		{"non-pow2 L1 line", func(c *Config) { c.Memory.L1.LineBytes = 48 }, "power of two"},
+		{"zero-size L2", func(c *Config) { c.Memory.L2.Bytes = 0 }, "geometry"},
+		{"zero L1 hit time", func(c *Config) { c.Memory.L1.HitCycles = 0 }, "hit"},
+		{"bad bank count", func(c *Config) {
+			c.Memory.L1.Ports = mem.PortConfig{Kind: mem.BankedPorts, Count: 3}
+		}, "power of two"},
+		{"neither L2 nor DRAM", func(c *Config) { c.Memory.L2 = nil }, "exactly one"},
+		{"both L2 and DRAM", func(c *Config) {
+			d := mem.DefaultDRAMConfig(6)
+			c.Memory.DRAM = &d
+		}, "exactly one"},
+		{"zero cycle time", func(c *Config) { c.Memory.CycleNs = 0 }, "cycle"},
+		{"zero issue width", func(c *Config) { c.CPU.IssueWidth = 0 }, ""},
+	}
+	// The CPU constructor rejects a zero issue width only if it
+	// validates at all; probe once so the table stays honest.
+	if _, err := cpu.New(cpu.Config{}, nil, nil); err == nil {
+		t.Fatal("cpu.New accepted a zero config with nil deps; expected some validation")
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if tt.wantErr == "" {
+				if tt.name == "zero issue width" {
+					// Whether the CPU rejects zero widths is its own
+					// contract; just require Validate not to panic and to
+					// agree with Run's constructor path.
+					return
+				}
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("Validate() = %q, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestConfigJSONStableNames pins the wire format of Config and Result:
+// the service API and the runner's disk cache both depend on these
+// exact lowercase names.
+func TestConfigJSONStableNames(t *testing.T) {
+	b, err := json.Marshal(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		`"benchmark":"gcc"`, `"seed":1`, `"cpu":`, `"memory":`,
+		`"prewarm_insts":`, `"warmup_insts":`, `"measure_insts":`,
+		`"l1":`, `"l2":`, `"line_bytes":32`, `"hit_cycles":1`,
+		`"ports":{"kind":"duplicate"}`, `"policy":"write-back"`,
+		`"fetch_width":4`, `"window_size":64`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Config JSON missing %s in:\n%s", want, s)
+		}
+	}
+
+	rb, err := json.Marshal(Result{Benchmark: "gcc", IPC: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := string(rb)
+	for _, want := range []string{
+		`"benchmark":"gcc"`, `"cycles":0`, `"instructions":0`, `"ipc":2.5`,
+		`"misses_per_inst":0`, `"line_buffer_hit_rate":0`,
+		`"branch_accuracy":0`, `"mean_load_latency":0`, `"cpu_stats":`,
+	} {
+		if !strings.Contains(rs, want) {
+			t.Errorf("Result JSON missing %s in:\n%s", want, rs)
+		}
+	}
+}
+
+// TestConfigJSONRoundTrip ensures a config survives the wire intact,
+// including the textual enums, and that bad enum spellings fail with a
+// descriptive error at decode time.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	in := validConfig()
+	in.Memory.L1.Ports = mem.PortConfig{Kind: mem.BankedPorts, Count: 8, InterleaveBytes: 8}
+	in.Memory.L1.Policy = mem.WriteThrough
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Config
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("round trip changed encoding:\n%s\n%s", b, b2)
+	}
+
+	var bad Config
+	err = json.Unmarshal([]byte(`{"memory":{"l1":{"ports":{"kind":"psychic"}}}}`), &bad)
+	if err == nil || !strings.Contains(err.Error(), "unknown port kind") {
+		t.Errorf("bad port kind decode error = %v, want mention of unknown port kind", err)
+	}
+	err = json.Unmarshal([]byte(`{"memory":{"l1":{"policy":"write-maybe"}}}`), &bad)
+	if err == nil || !strings.Contains(err.Error(), "unknown write policy") {
+		t.Errorf("bad write policy decode error = %v, want mention of unknown write policy", err)
+	}
+}

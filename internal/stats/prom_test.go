@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLatencyHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if got := h.Count(); got != 0 {
+		t.Errorf("Count() = %d, want 0", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Errorf("Sum() = %g, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("Mean() = %g, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	h := NewLatencyHistogram(1, 2, 4, 8)
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 5, 7, 20, 20} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 10 {
+		t.Fatalf("Count() = %d, want 10", got)
+	}
+	if got, want := h.Sum(), 64.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum() = %g, want %g", got, want)
+	}
+	// The median rank (5 of 10) lands in the (2,4] bucket.
+	if q := h.Quantile(0.5); q <= 2 || q > 4 {
+		t.Errorf("Quantile(0.5) = %g, want in (2,4]", q)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if q := h.Quantile(-1); q < 0.5 || q > 1 {
+		t.Errorf("Quantile(-1) = %g, want clamped near min", q)
+	}
+	// The top quantile lives in the overflow bucket, bounded by the
+	// observed maximum rather than +Inf.
+	if q := h.Quantile(1); q > h.Max() || q <= 8 {
+		t.Errorf("Quantile(1) = %g, want in (8, %g]", q, h.Max())
+	}
+	// Quantiles are monotone in q.
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%g) = %g < previous %g; quantiles must be monotone", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLatencyHistogramSingleSample(t *testing.T) {
+	h := NewLatencyHistogram(1, 10)
+	h.Observe(3)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got < 1 || got > 10 {
+			t.Errorf("Quantile(%g) = %g, want within the sample's bucket (1,10]", q, got)
+		}
+	}
+}
+
+func TestRatioZeroDenominator(t *testing.T) {
+	if got := Ratio(5, 0); got != 0 {
+		t.Errorf("Ratio(5, 0) = %g, want 0", got)
+	}
+	if got := Ratio(0, 0); got != 0 {
+		t.Errorf("Ratio(0, 0) = %g, want 0", got)
+	}
+	if got := Ratio(1, 2); got != 0.5 {
+		t.Errorf("Ratio(1, 2) = %g, want 0.5", got)
+	}
+}
+
+// TestPromGolden pins the exact exposition-format output: a scrape
+// parser is strict about this text, so rendering changes must be
+// deliberate.
+func TestPromGolden(t *testing.T) {
+	h := NewLatencyHistogram(0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var p Prom
+	p.Gauge("hb_queue_depth", "Jobs waiting to run.", 4)
+	p.Counter("hb_jobs_total", "Jobs accepted.", 17)
+	p.Histogram("hb_job_latency_seconds", "Job wall time.", h)
+
+	want := strings.Join([]string{
+		"# HELP hb_queue_depth Jobs waiting to run.",
+		"# TYPE hb_queue_depth gauge",
+		"hb_queue_depth 4",
+		"# HELP hb_jobs_total Jobs accepted.",
+		"# TYPE hb_jobs_total counter",
+		"hb_jobs_total 17",
+		"# HELP hb_job_latency_seconds Job wall time.",
+		"# TYPE hb_job_latency_seconds histogram",
+		`hb_job_latency_seconds_bucket{le="0.1"} 1`,
+		`hb_job_latency_seconds_bucket{le="1"} 3`,
+		`hb_job_latency_seconds_bucket{le="+Inf"} 4`,
+		"hb_job_latency_seconds_sum 4.05",
+		"hb_job_latency_seconds_count 4",
+		"",
+	}, "\n")
+	if got := p.String(); got != want {
+		t.Errorf("Prom rendering mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramEmptyBuckets(t *testing.T) {
+	// The integer Histogram used by the simulator: empty and
+	// out-of-range behavior.
+	h := NewHistogram(4)
+	if got := h.Total(); got != 0 {
+		t.Errorf("empty Total() = %d, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean() = %g, want 0", got)
+	}
+	if got := h.Bucket(-1); got != 0 {
+		t.Errorf("Bucket(-1) = %d, want 0", got)
+	}
+	if got := h.Bucket(99); got != 0 {
+		t.Errorf("Bucket(99) = %d, want 0", got)
+	}
+	h.Add(-5) // clamps to bucket 0
+	h.Add(99) // saturates into the top bucket
+	if got := h.Bucket(0); got != 1 {
+		t.Errorf("Bucket(0) = %d, want 1 after negative clamp", got)
+	}
+	if got := h.Bucket(4); got != 1 {
+		t.Errorf("Bucket(4) = %d, want 1 after saturation", got)
+	}
+}
