@@ -31,5 +31,14 @@ serve:
 verify: build vet fmt race test
 	@echo "verify: OK"
 
+# Benchmark run: BENCH selects the pattern, BENCH_COUNT the repetitions
+# (use BENCH_COUNT=10 with benchstat for before/after comparisons). The
+# raw output lands in bench.out and a machine-readable summary —
+# ns/op, allocs/op, insts/sec, plus any custom metrics — is written to
+# BENCH_<short-sha>.json for tracking across commits.
+BENCH ?= .
+BENCH_COUNT ?= 1
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) | tee bench.out
+	$(GO) run ./cmd/benchjson -commit $$(git rev-parse --short HEAD) < bench.out > BENCH_$$(git rev-parse --short HEAD).json
+	@echo "wrote BENCH_$$(git rev-parse --short HEAD).json"

@@ -1,0 +1,106 @@
+package hbcache_test
+
+// Allocation regression tests for the simulator's hot loop. Every
+// function here runs millions of times per simulated second; a single
+// heap allocation per call regresses whole-simulation throughput by
+// integer factors, so each is pinned at exactly zero allocs per call
+// once the machine reaches steady state. Construction-time allocation
+// is fine — only the per-call paths are pinned.
+
+import (
+	"testing"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/workload"
+)
+
+// pinZeroAllocs runs f under testing.AllocsPerRun and fails on any
+// heap allocation.
+func pinZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(1000, f); n != 0 {
+		t.Errorf("%s: %.1f allocs/call, want 0", name, n)
+	}
+}
+
+func TestGeneratorNextAllocFree(t *testing.T) {
+	for _, name := range workload.BenchmarkNames() {
+		g := workload.MustNew(name, 1)
+		// Advance past the first templates so every code path (kernel
+		// entry, chase chains, template rotation) has been exercised.
+		for i := 0; i < 10_000; i++ {
+			g.Next()
+		}
+		pinZeroAllocs(t, "Generator.Next("+name+")", func() { g.Next() })
+	}
+}
+
+func TestGeneratorWarmAllocFree(t *testing.T) {
+	g := workload.MustNew("gcc", 1)
+	addrs := make([]uint64, 512)
+	branches := make([]uint64, 512)
+	g.Warm(10_000, make([]uint64, 10_000), make([]uint64, 10_000))
+	pinZeroAllocs(t, "Generator.Warm", func() { g.Warm(len(addrs), addrs, branches) })
+}
+
+func TestArrayLookupAllocFree(t *testing.T) {
+	a := mem.MustNewArray(32<<10, 32, 2)
+	for i := 0; i < 1024; i++ {
+		a.Fill(uint64(i) * 32)
+	}
+	i := 0
+	pinZeroAllocs(t, "Array.Lookup", func() {
+		a.Lookup(uint64(i%1024) * 32)
+		i++
+	})
+	pinZeroAllocs(t, "Array.Lookup (miss)", func() {
+		a.Lookup(1 << 40)
+	})
+}
+
+func TestL1LoadStoreAllocFree(t *testing.T) {
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.IdealPorts, Count: 4}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 32<<10; addr += 32 {
+		sys.WarmTouch(addr)
+	}
+	now := mem.Cycle(0)
+	i := 0
+	pinZeroAllocs(t, "L1.TryLoad (hit)", func() {
+		sys.L1.TryLoad(now, uint64(i%4096)*8)
+		now++
+		i++
+	})
+	// Misses walk the MSHR/line-buffer/next-level path.
+	addr := uint64(1 << 30)
+	pinZeroAllocs(t, "L1.TryLoad (miss)", func() {
+		sys.L1.TryLoad(now, addr)
+		now += 100
+		addr += 32
+	})
+	pinZeroAllocs(t, "L1.EnqueueStore+DrainStores", func() {
+		sys.L1.EnqueueStore(uint64(i%4096) * 8)
+		sys.L1.DrainStores(now)
+		now++
+		i++
+	})
+}
+
+func TestCPUStepAllocFree(t *testing.T) {
+	gen := workload.MustNew("gcc", 1)
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := cpu.New(cpu.DefaultConfig(), gen, sys.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run well past cold start: the window, LSQ, store buffer, MSHRs and
+	// wakeup structures are all at steady-state occupancy by 20k cycles.
+	core.RunCycles(20_000)
+	pinZeroAllocs(t, "CPU.Step", func() { core.Step() })
+}

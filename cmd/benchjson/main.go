@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON record for performance tracking. Every metric
+// column is captured generically — ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units like insts/sec — and repeated runs of one
+// benchmark (from -count=N) are kept as separate samples so downstream
+// tooling can compute its own statistics.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchmem -count=10 | benchjson -commit $(git rev-parse --short HEAD) > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark result line.
+type sample struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the emitted document.
+type report struct {
+	Commit     string   `json:"commit,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []sample `json:"benchmarks"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit hash to stamp into the report")
+	flag.Parse()
+
+	rep := report{
+		Commit:    *commit,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if s, ok := parseLine(sc.Text()); ok {
+			rep.Benchmarks = append(rep.Benchmarks, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFullSimulation-8   42   27012345 ns/op   2000000 insts/sec   12345 B/op   378 allocs/op
+//
+// Lines that don't look like benchmark results (test output, figure
+// tables, PASS/ok trailers) return ok=false.
+func parseLine(line string) (sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return sample{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return sample{}, false
+	}
+	s := sample{
+		// Strip the -GOMAXPROCS suffix so names are stable across machines.
+		Name:       strings.TrimSuffix(fields[0], "-"+lastDashPart(fields[0])),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return sample{}, false
+		}
+		s.Metrics[fields[i+1]] = v
+	}
+	if len(s.Metrics) == 0 {
+		return sample{}, false
+	}
+	return s, true
+}
+
+// lastDashPart returns the text after the final '-' if it is numeric
+// (the GOMAXPROCS suffix), or "" otherwise.
+func lastDashPart(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	suffix := name[i+1:]
+	if _, err := strconv.Atoi(suffix); err != nil {
+		return ""
+	}
+	return suffix
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	s, ok := parseLine("BenchmarkFullSimulation-8  \t  42\t  27012345 ns/op  9624453 insts/sec  12345 B/op  378 allocs/op")
+	if !ok {
+		t.Fatal("result line not parsed")
+	}
+	if s.Name != "BenchmarkFullSimulation" {
+		t.Errorf("name %q, want BenchmarkFullSimulation", s.Name)
+	}
+	if s.Iterations != 42 {
+		t.Errorf("iterations %d, want 42", s.Iterations)
+	}
+	want := map[string]float64{"ns/op": 27012345, "insts/sec": 9624453, "B/op": 12345, "allocs/op": 378}
+	for unit, v := range want {
+		if s.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, s.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  \thbcache\t12.3s",
+		"== Figure 3: misses/instruction vs cache size ==",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"BenchmarkNoMetrics-8 100",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as a result", line)
+		}
+	}
+}
+
+func TestParseLineKeepsNonNumericSuffix(t *testing.T) {
+	s, ok := parseLine("BenchmarkFoo/sub-case 10 5.0 ns/op")
+	if !ok {
+		t.Fatal("not parsed")
+	}
+	if s.Name != "BenchmarkFoo/sub-case" {
+		t.Errorf("name %q, want BenchmarkFoo/sub-case", s.Name)
+	}
+}

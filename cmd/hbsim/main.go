@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -36,8 +38,36 @@ func main() {
 		cycle   = flag.Float64("cycle", 25, "processor cycle time in FO4 (scales L2/memory latencies and bus widths)")
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		measure = flag.Uint64("insts", sim.DefaultMeasure, "instructions to measure")
+		prewarm = flag.String("prewarm-mode", "", "prewarm mode: fast-forward (default), stream, timing")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var memory mem.SystemConfig
 	if *dram > 0 {
@@ -61,13 +91,18 @@ func main() {
 		memory = sim.ScaledSRAMSystem(bytes, *hit, pc, *lb, *cycle)
 	}
 
-	res, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Benchmark:    *bench,
 		Seed:         *seed,
 		CPU:          cpu.DefaultConfig(),
 		Memory:       memory,
 		MeasureInsts: *measure,
-	})
+		PrewarmMode:  sim.PrewarmMode(*prewarm),
+	}.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,16 +39,17 @@ import (
 // sweepSpec is a fully parsed sweep: the cartesian design space plus
 // execution knobs.
 type sweepSpec struct {
-	benches []string
-	sizes   []int
-	hits    []int
-	ports   []mem.PortConfig
-	lbs     []bool
-	cycle   float64
-	seed    uint64
-	prewarm uint64
-	warmup  uint64
-	insts   uint64
+	benches     []string
+	sizes       []int
+	hits        []int
+	ports       []mem.PortConfig
+	lbs         []bool
+	cycle       float64
+	seed        uint64
+	prewarm     uint64
+	warmup      uint64
+	insts       uint64
+	prewarmMode sim.PrewarmMode
 
 	workers  int
 	cacheDir string
@@ -66,21 +68,50 @@ func main() {
 		prewarm  = flag.Uint64("prewarm", 0, "prewarm instructions per point (0 = sim default)")
 		warmup   = flag.Uint64("warmup", 0, "timed warm-up instructions per point (0 = sim default)")
 		insts    = flag.Uint64("insts", sim.DefaultMeasure, "measured instructions per point")
+		pwMode   = flag.String("prewarm-mode", "", "prewarm mode: fast-forward (default), stream, timing")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
 		progress = flag.Bool("progress", false, "report progress on stderr while the sweep runs")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	spec := sweepSpec{
-		cycle:    *cycle,
-		seed:     *seed,
-		prewarm:  *prewarm,
-		warmup:   *warmup,
-		insts:    *insts,
-		workers:  *workers,
-		cacheDir: *cacheDir,
-		progress: *progress,
+		cycle:       *cycle,
+		seed:        *seed,
+		prewarm:     *prewarm,
+		warmup:      *warmup,
+		insts:       *insts,
+		prewarmMode: sim.PrewarmMode(*pwMode),
+		workers:     *workers,
+		cacheDir:    *cacheDir,
+		progress:    *progress,
 	}
 	var err error
 	if spec.benches, err = parseBenches(*benches); err != nil {
@@ -125,6 +156,7 @@ func (s sweepSpec) configs() []sim.Config {
 							PrewarmInsts: s.prewarm,
 							WarmupInsts:  s.warmup,
 							MeasureInsts: s.insts,
+							PrewarmMode:  s.prewarmMode,
 						})
 					}
 				}

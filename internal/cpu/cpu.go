@@ -15,6 +15,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hbcache/internal/isa"
 	"hbcache/internal/mem"
@@ -83,7 +84,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-// entry states.
+// entry states. They live in CPU.state, a slice parallel to the window,
+// so the per-cycle scans walk a dense byte array instead of pulling
+// whole entries through the cache.
 const (
 	stWaiting   uint8 = iota // in window, operands possibly outstanding
 	stExecuting              // issued, completes at doneAt
@@ -91,10 +94,14 @@ const (
 	stDone                   // result available (from doneAt)
 )
 
+// wheelSpan is the completion timing wheel's size in cycles (a power of
+// two). It only bounds efficiency, not correctness: latencies beyond it
+// wrap and are re-examined every wheelSpan cycles until due.
+const wheelSpan = 256
+
 type entry struct {
-	inst  isa.Inst
-	seq   uint64
-	state uint8
+	inst isa.Inst
+	seq  uint64
 
 	srcSeq1, srcSeq2 uint64    // producing instruction seq, 0 = ready
 	doneAt           mem.Cycle // valid in stExecuting/stDone
@@ -162,22 +169,92 @@ func (s Stats) MeanLoadLatency() float64 {
 	return float64(s.LoadLatencySum) / float64(s.Loads)
 }
 
+// seqRing is a fixed-capacity FIFO of window sequence numbers, used to
+// track the stores resident in the window so store-to-load forwarding
+// visits only them instead of scanning the whole window.
+type seqRing struct {
+	buf  []uint64
+	head int
+	n    int
+}
+
+func (r *seqRing) push(seq uint64) {
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = seq
+	r.n++
+}
+
+func (r *seqRing) pop() {
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
+func (r *seqRing) at(i int) uint64 {
+	i += r.head
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return r.buf[i]
+}
+
 // CPU is one simulated core bound to a trace and a data memory.
 type CPU struct {
 	cfg    Config
 	reader isa.Reader
 	dmem   DataMemory
+	l1     *mem.L1Cache // dmem when it is the concrete L1, for devirtualized calls
 	pred   *Predictor
 
 	now mem.Cycle
 
 	rob     []entry
-	head    int // index of oldest entry
-	count   int // live entries
+	state   []uint8 // parallel to rob
+	head    int     // index of oldest entry
+	count   int     // live entries
 	headSeq uint64
 	nextSeq uint64
 
 	lsqCount int
+
+	// Wakeup scheduling state. The per-cycle stages never scan the
+	// window; instead they walk bitsets (one bit per window slot) and a
+	// completion timing wheel that the state transitions maintain:
+	//  - readyMask marks waiting entries whose operands are all
+	//    available. It is seeded at dispatch (when the operands are
+	//    already complete) and extended by completing producers through
+	//    the wake masks, so issue() visits only issuable entries;
+	//  - portMask marks loads waiting for a cache port;
+	//  - wake holds, per producer slot, the bitset of consumer slots
+	//    blocked on it (maskWords words each); nready counts a waiting
+	//    entry's outstanding operands;
+	//  - wheelHead/wheelNext bucket executing entries by completion
+	//    cycle modulo wheelSpan (an intrusive list threaded through the
+	//    slots), so complete() pops exactly the entries due now; an
+	//    entry further than wheelSpan out is simply re-examined a lap
+	//    later;
+	//  - storeSeqs lists the window's stores in program order for
+	//    store-to-load forwarding.
+	maskWords  int
+	readyMask  []uint64
+	portMask   []uint64
+	wake       []uint64
+	nready     []uint8
+	scratch    []int32 // buffer for program-order bitset walks and due lists
+	readyCount int
+	portCount  int
+	wheelHead  []int32
+	wheelNext  []int32
+	storeSeqs  seqRing
+	// storeBlkCnt counts window-resident stores by hashed 8-byte block,
+	// so forwardingState can skip the store walk when no store can
+	// possibly match (the common case). Collisions only cost the walk.
+	storeBlkCnt [64]uint8
 
 	regProducer [isa.NumLogicalRegs]uint64 // reg -> producing seq (0 = ready)
 
@@ -209,15 +286,94 @@ func New(cfg Config, reader isa.Reader, dmem DataMemory) (*CPU, error) {
 	if cfg.Gshare {
 		pred = NewGshare(entries, cfg.GshareHistoryBits)
 	}
-	return &CPU{
-		cfg:     cfg,
-		reader:  reader,
-		dmem:    dmem,
-		pred:    pred,
-		rob:     make([]entry, cfg.WindowSize),
-		headSeq: 1,
-		nextSeq: 1,
-	}, nil
+	l1, _ := dmem.(*mem.L1Cache)
+	words := (cfg.WindowSize + 63) / 64
+	c := &CPU{
+		cfg:       cfg,
+		reader:    reader,
+		dmem:      dmem,
+		l1:        l1,
+		pred:      pred,
+		rob:       make([]entry, cfg.WindowSize),
+		state:     make([]uint8, cfg.WindowSize),
+		headSeq:   1,
+		nextSeq:   1,
+		maskWords: words,
+		readyMask: make([]uint64, words),
+		portMask:  make([]uint64, words),
+		wake:      make([]uint64, cfg.WindowSize*words),
+		nready:    make([]uint8, cfg.WindowSize),
+		scratch:   make([]int32, cfg.WindowSize),
+		wheelHead: make([]int32, wheelSpan),
+		wheelNext: make([]int32, cfg.WindowSize),
+		storeSeqs: seqRing{buf: make([]uint64, cfg.LSQSize)},
+	}
+	for i := range c.wheelHead {
+		c.wheelHead[i] = -1
+	}
+	return c, nil
+}
+
+// pushWheel files an executing slot under its completion cycle.
+func (c *CPU) pushWheel(p int, at mem.Cycle) {
+	b := int(uint64(at) & (wheelSpan - 1))
+	c.wheelNext[p] = c.wheelHead[b]
+	c.wheelHead[b] = int32(p)
+}
+
+// setBit and clearBit operate on the slot bitsets.
+func setBit(m []uint64, i int)   { m[i>>6] |= 1 << uint(i&63) }
+func clearBit(m []uint64, i int) { m[i>>6] &^= 1 << uint(i&63) }
+
+// gather collects the slots whose bits are set in mask into out, in
+// program order starting at the window head, returning the count. Only
+// live slots ever have bits set, so the two passes (head to end of the
+// window array, then the wrapped prefix) enumerate exactly the marked
+// entries oldest first.
+func (c *CPU) gather(mask []uint64, out []int32) int {
+	n := 0
+	if c.maskWords == 1 {
+		hb := uint(c.head & 63)
+		m := mask[0]
+		for lo := m &^ (1<<hb - 1); lo != 0; lo &= lo - 1 {
+			out[n] = int32(bits.TrailingZeros64(lo))
+			n++
+		}
+		for hi := m & (1<<hb - 1); hi != 0; hi &= hi - 1 {
+			out[n] = int32(bits.TrailingZeros64(hi))
+			n++
+		}
+		return n
+	}
+	hw := c.head >> 6
+	hb := uint(c.head & 63)
+	m := mask[hw] &^ (1<<hb - 1)
+	for w := hw; ; {
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			out[n] = int32(w<<6 + b)
+			n++
+		}
+		w++
+		if w >= len(mask) {
+			break
+		}
+		m = mask[w]
+	}
+	for w := 0; w <= hw && w < len(mask); w++ {
+		m = mask[w]
+		if w == hw {
+			m &= 1<<hb - 1
+		}
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			out[n] = int32(w<<6 + b)
+			n++
+		}
+	}
+	return n
 }
 
 // Now returns the current cycle.
@@ -234,18 +390,20 @@ func (c *CPU) Done() bool { return c.traceDone && c.count == 0 && !c.pendingVali
 
 // idx maps a live sequence number to its window slot.
 func (c *CPU) idx(seq uint64) int {
-	return (c.head + int(seq-c.headSeq)) % len(c.rob)
+	i := c.head + int(seq-c.headSeq)
+	if i >= len(c.rob) {
+		i -= len(c.rob)
+	}
+	return i
 }
 
 // producerReady reports whether the value produced by seq is available
 // at the current cycle. Sequence 0 means "always ready"; a producer
 // older than the window head has retired and is therefore complete.
+// (stDone implies doneAt <= now: complete() only marks entries whose
+// results have arrived.)
 func (c *CPU) producerReady(seq uint64) bool {
-	if seq == 0 || seq < c.headSeq {
-		return true
-	}
-	e := &c.rob[c.idx(seq)]
-	return e.state == stDone && e.doneAt <= c.now
+	return seq == 0 || seq < c.headSeq || c.state[c.idx(seq)] == stDone
 }
 
 // Run advances the core until maxInsts instructions have retired or the
@@ -284,7 +442,11 @@ func (c *CPU) Step() {
 	issued := c.issue()
 	c.memoryAccess()
 	c.dispatch()
-	c.dmem.DrainStores(c.now)
+	if c.l1 != nil {
+		c.l1.DrainStores(c.now)
+	} else {
+		c.dmem.DrainStores(c.now)
+	}
 
 	if issued >= len(c.stats.IssuedHistogram) {
 		issued = len(c.stats.IssuedHistogram) - 1
@@ -321,11 +483,11 @@ func (c *CPU) Snapshot() Snapshot {
 	}
 	pos := c.head
 	for i := 0; i < c.count; i++ {
-		e := &c.rob[pos]
+		st := c.state[pos]
 		if pos++; pos == len(c.rob) {
 			pos = 0
 		}
-		switch e.state {
+		switch st {
 		case stWaiting:
 			snap.Waiting++
 		case stExecuting:
@@ -347,53 +509,137 @@ func (c *CPU) Snapshot() Snapshot {
 }
 
 // complete transitions executing entries whose results arrive this
-// cycle, resolving mispredicted branches.
+// cycle, waking their dependents and resolving mispredicted branches.
+// The timing wheel hands over exactly the entries filed under this
+// cycle: an empty bucket (the common case) costs one load. Entries a
+// wheel lap or more in the future share the bucket and are refiled.
+// The due entries are applied oldest first, so predictor updates keep
+// their architectural order.
 func (c *CPU) complete() {
-	pos := c.head
-	for i := 0; i < c.count; i++ {
-		e := &c.rob[pos]
-		if pos++; pos == len(c.rob) {
-			pos = 0
+	b := int(uint64(c.now) & (wheelSpan - 1))
+	h := c.wheelHead[b]
+	if h < 0 {
+		return
+	}
+	due := 0
+	relist := int32(-1)
+	for h >= 0 {
+		next := c.wheelNext[h]
+		if c.rob[h].doneAt > c.now {
+			c.wheelNext[h] = relist
+			relist = h
+		} else {
+			c.scratch[due] = h
+			due++
 		}
-		if e.state == stExecuting && e.doneAt <= c.now {
-			e.state = stDone
-			if e.inst.Op == isa.Branch {
-				c.pred.Update(e.inst.PC, e.inst.Taken, e.mispredicted)
-				if e.mispredicted && c.mispredictSeq == e.seq {
-					c.mispredictSeq = 0
-					c.fetchResumeAt = e.doneAt + mem.Cycle(c.cfg.MispredictPenalty)
-				}
+		h = next
+	}
+	c.wheelHead[b] = relist
+	for i := 1; i < due; i++ {
+		s := c.scratch[i]
+		sq := c.rob[s].seq
+		j := i - 1
+		for j >= 0 && c.rob[c.scratch[j]].seq > sq {
+			c.scratch[j+1] = c.scratch[j]
+			j--
+		}
+		c.scratch[j+1] = s
+	}
+	for i := 0; i < due; i++ {
+		p := int(c.scratch[i])
+		e := &c.rob[p]
+		c.state[p] = stDone
+		c.wakeConsumers(p)
+		if e.inst.Op == isa.Branch {
+			c.pred.Update(e.inst.PC, e.inst.Taken, e.mispredicted)
+			if e.mispredicted && c.mispredictSeq == e.seq {
+				c.mispredictSeq = 0
+				c.fetchResumeAt = e.doneAt + mem.Cycle(c.cfg.MispredictPenalty)
 			}
-			if e.inst.Op == isa.Load {
-				c.stats.LoadLatencySum += uint64(e.doneAt - e.issueAt)
-			}
+		}
+		if e.inst.Op == isa.Load {
+			c.stats.LoadLatencySum += uint64(e.doneAt - e.issueAt)
 		}
 	}
 }
 
+// addWake subscribes the consumer slot to the producer slot's
+// completion.
+func (c *CPU) addWake(producer, consumer int) {
+	w := c.wake[producer*c.maskWords:]
+	w[consumer>>6] |= 1 << uint(consumer&63)
+}
+
+// wakeConsumers marks the dependents of a just-completed producer slot
+// ready once their last outstanding operand arrives. Windows of up to
+// 64 entries (the paper's is exactly 64) take the single-word path.
+func (c *CPU) wakeConsumers(p int) {
+	if c.maskWords == 1 {
+		m := c.wake[p]
+		if m == 0 {
+			return
+		}
+		c.wake[p] = 0
+		for m != 0 {
+			t := bits.TrailingZeros64(m)
+			m &= m - 1
+			if c.nready[t]--; c.nready[t] == 0 {
+				c.readyMask[0] |= 1 << uint(t)
+				c.readyCount++
+			}
+		}
+		return
+	}
+	w := c.wake[p*c.maskWords : (p+1)*c.maskWords]
+	for wi, m := range w {
+		for m != 0 {
+			b := bits.TrailingZeros64(m)
+			m &= m - 1
+			t := wi<<6 + b
+			if c.nready[t]--; c.nready[t] == 0 {
+				setBit(c.readyMask, t)
+				c.readyCount++
+			}
+		}
+		w[wi] = 0
+	}
+}
+
 // retire removes completed entries in order, handing stores to the L1
-// store buffer.
+// store buffer. (stDone implies the result has arrived; see
+// producerReady.)
 func (c *CPU) retire() {
 	c.retireStalledStore = false
 	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
-		e := &c.rob[c.head]
-		if e.state != stDone || e.doneAt > c.now {
+		if c.state[c.head] != stDone {
 			return
 		}
-		if e.inst.Op == isa.Store {
-			if !c.dmem.EnqueueStore(e.inst.Addr) {
+		e := &c.rob[c.head]
+		switch e.inst.Op {
+		case isa.Store:
+			enqueued := false
+			if c.l1 != nil {
+				enqueued = c.l1.EnqueueStore(e.inst.Addr)
+			} else {
+				enqueued = c.dmem.EnqueueStore(e.inst.Addr)
+			}
+			if !enqueued {
 				c.stats.StoreBufStalls++
 				c.retireStalledStore = true
 				return
 			}
 			c.stats.Stores++
 			c.lsqCount--
-		}
-		if e.inst.Op == isa.Load {
+			c.storeSeqs.pop()
+			c.storeBlkCnt[(e.inst.Addr>>3)&63]--
+		case isa.Load:
 			c.lsqCount--
 		}
 		c.stats.Retired++
-		c.head = (c.head + 1) % len(c.rob)
+		c.head++
+		if c.head == len(c.rob) {
+			c.head = 0
+		}
 		c.headSeq++
 		c.count--
 	}
@@ -425,41 +671,49 @@ func fuClass(op isa.Op) int {
 // them executing. The paper's processor places no functional-unit
 // restriction on the issue mix; configuring FULimits imposes one as an
 // ablation.
+//
+// Only entries whose operands are all available carry a readyMask bit
+// (dispatch and wakeConsumers maintain it), so the walk visits exactly
+// the issuable entries. An entry passed over by a functional-unit limit
+// keeps its bit and is reconsidered next cycle.
 func (c *CPU) issue() int {
+	if c.readyCount == 0 {
+		return 0
+	}
+	limited := c.cfg.FULimits != nil
 	issued := 0
 	var classIssued [3]int
 	classLimit := [3]int{}
-	if c.cfg.FULimits != nil {
+	if limited {
 		classLimit = [3]int{c.cfg.FULimits.Int, c.cfg.FULimits.FP, c.cfg.FULimits.Mem}
 	}
-	pos := c.head
-	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
-		e := &c.rob[pos]
-		if pos++; pos == len(c.rob) {
-			pos = 0
+	n := c.gather(c.readyMask, c.scratch)
+	for i := 0; i < n && issued < c.cfg.IssueWidth; i++ {
+		p := int(c.scratch[i])
+		e := &c.rob[p]
+		if limited {
+			cls := fuClass(e.inst.Op)
+			if classLimit[cls] > 0 && classIssued[cls] >= classLimit[cls] {
+				continue
+			}
+			classIssued[cls]++
 		}
-		if e.state != stWaiting {
-			continue
-		}
-		cls := fuClass(e.inst.Op)
-		if classLimit[cls] > 0 && classIssued[cls] >= classLimit[cls] {
-			continue
-		}
-		if !c.producerReady(e.srcSeq1) || !c.producerReady(e.srcSeq2) {
-			continue
-		}
-		classIssued[cls]++
 		e.issueAt = c.now
 		issued++
+		clearBit(c.readyMask, p)
+		c.readyCount--
 		switch e.inst.Op {
 		case isa.Load:
 			// One cycle of address calculation, then the access
 			// contends for a cache port.
 			e.addrReadyAt = c.now + mem.Cycle(e.inst.Op.Latency())
-			e.state = stWantPort
+			c.state[p] = stWantPort
+			setBit(c.portMask, p)
+			c.portCount++
 		default:
 			e.doneAt = c.now + mem.Cycle(e.inst.Op.Latency())
-			e.state = stExecuting
+			c.state[p] = stExecuting
+			c.pushWheel(p, e.doneAt)
 		}
 	}
 	return issued
@@ -479,39 +733,46 @@ func (c *CPU) issue() int {
 // blocks the load (the model has perfect memory disambiguation, so
 // non-overlapping stores never block).
 func (c *CPU) memoryAccess() {
-	pos := c.head
-	seq := c.headSeq
-	for i := 0; i < c.count; i++ {
-		e := &c.rob[pos]
-		if pos++; pos == len(c.rob) {
-			pos = 0
-		}
-		s := seq
-		seq++
-		if e.state != stWantPort {
-			continue
-		}
+	if c.portCount == 0 {
+		return
+	}
+	n := c.gather(c.portMask, c.scratch)
+	for i := 0; i < n; i++ {
+		p := int(c.scratch[i])
+		e := &c.rob[p]
 		if e.addrReadyAt > c.now {
 			// Address not computed yet: younger loads may still
 			// proceed (they issued earlier and are already past
 			// address calculation).
 			continue
 		}
-		switch c.forwardingState(s, e.inst.Addr) {
+		switch c.forwardingState(e.seq, e.inst.Addr) {
 		case fwdHit:
 			e.doneAt = c.now + 1
-			e.state = stExecuting
+			c.state[p] = stExecuting
+			clearBit(c.portMask, p)
+			c.portCount--
+			c.pushWheel(p, e.doneAt)
 			c.stats.LoadForwarded++
 			continue
 		case fwdBlocked:
 			return // in-order access: younger loads wait too
 		}
-		if res, ok := c.dmem.TryLoad(c.now, e.inst.Addr); ok {
-			e.doneAt = res.Done
-			e.state = stExecuting
+		var res mem.LoadResult
+		var ok bool
+		if c.l1 != nil {
+			res, ok = c.l1.TryLoad(c.now, e.inst.Addr)
 		} else {
+			res, ok = c.dmem.TryLoad(c.now, e.inst.Addr)
+		}
+		if !ok {
 			return // structural stall: younger loads wait too
 		}
+		e.doneAt = res.Done
+		c.state[p] = stExecuting
+		clearBit(c.portMask, p)
+		c.portCount--
+		c.pushWheel(p, e.doneAt)
 	}
 }
 
@@ -524,25 +785,46 @@ const (
 )
 
 // forwardingState scans older stores in the window for an overlap with
-// the load's 8-byte block.
+// the load's 8-byte block, youngest first (storeSeqs is in program
+// order, so the walk runs from the back, skipping stores younger than
+// the load).
 func (c *CPU) forwardingState(loadSeq uint64, addr uint64) fwdResult {
 	block := addr >> 3
-	for seq := loadSeq - 1; seq >= c.headSeq; seq-- {
-		e := &c.rob[c.idx(seq)]
-		if e.inst.Op != isa.Store {
+	if c.storeBlkCnt[block&63] == 0 {
+		// No window store maps to this block's hash bucket, so the walk
+		// cannot find a match; only the L1 store buffer remains.
+		if c.l1 != nil {
+			if c.l1.StoreBufferProbe(addr) {
+				return fwdHit
+			}
+		} else if c.dmem.StoreBufferProbe(addr) {
+			return fwdHit
+		}
+		return fwdNone
+	}
+	for i := c.storeSeqs.n - 1; i >= 0; i-- {
+		seq := c.storeSeqs.at(i)
+		if seq >= loadSeq {
 			continue
 		}
+		p := c.idx(seq)
+		e := &c.rob[p]
 		if e.inst.Addr>>3 != block {
 			continue
 		}
 		// Youngest older matching store decides.
-		if e.state == stDone || (e.state == stExecuting && e.doneAt <= c.now) {
+		st := c.state[p]
+		if st == stDone || (st == stExecuting && e.doneAt <= c.now) {
 			return fwdHit
 		}
 		return fwdBlocked
 	}
 	// Retired stores awaiting drain in the L1 store buffer also forward.
-	if c.dmem.StoreBufferProbe(addr) {
+	if c.l1 != nil {
+		if c.l1.StoreBufferProbe(addr) {
+			return fwdHit
+		}
+	} else if c.dmem.StoreBufferProbe(addr) {
 		return fwdHit
 	}
 	return fwdNone
@@ -574,7 +856,7 @@ func (c *CPU) dispatch() {
 			c.pendingValid = true
 			return
 		}
-		c.insert(inst)
+		c.insert(&inst)
 		if c.mispredictSeq != 0 {
 			// The just-dispatched branch was mispredicted: nothing
 			// younger enters the window until it resolves.
@@ -602,12 +884,16 @@ func (c *CPU) nextInst() (isa.Inst, bool) {
 }
 
 // insert places an instruction at the window tail.
-func (c *CPU) insert(inst isa.Inst) {
+func (c *CPU) insert(inst *isa.Inst) {
 	seq := c.nextSeq
 	c.nextSeq++
-	tail := (c.head + c.count) % len(c.rob)
+	tail := c.head + c.count
+	if tail >= len(c.rob) {
+		tail -= len(c.rob)
+	}
 	e := &c.rob[tail]
-	*e = entry{inst: inst, seq: seq, state: stWaiting}
+	*e = entry{inst: *inst, seq: seq}
+	c.state[tail] = stWaiting
 	if inst.Src1 != isa.NoReg {
 		e.srcSeq1 = c.regProducer[inst.Src1]
 	}
@@ -617,6 +903,23 @@ func (c *CPU) insert(inst isa.Inst) {
 	if inst.Dst != isa.NoReg {
 		c.regProducer[inst.Dst] = seq
 	}
+	// Register the entry with the wakeup machinery: subscribe to each
+	// still-executing producer (once, if both operands share one), or
+	// mark the entry ready now if its operands are already complete.
+	pending := uint8(0)
+	if !c.producerReady(e.srcSeq1) {
+		c.addWake(c.idx(e.srcSeq1), tail)
+		pending++
+	}
+	if e.srcSeq2 != e.srcSeq1 && !c.producerReady(e.srcSeq2) {
+		c.addWake(c.idx(e.srcSeq2), tail)
+		pending++
+	}
+	c.nready[tail] = pending
+	if pending == 0 {
+		setBit(c.readyMask, tail)
+		c.readyCount++
+	}
 	c.count++
 	switch inst.Op {
 	case isa.Load:
@@ -624,6 +927,8 @@ func (c *CPU) insert(inst isa.Inst) {
 		c.lsqCount++
 	case isa.Store:
 		c.lsqCount++
+		c.storeSeqs.push(seq)
+		c.storeBlkCnt[(inst.Addr>>3)&63]++
 	case isa.Branch:
 		c.stats.Branches++
 		predicted := c.pred.Predict(inst.PC)

@@ -83,6 +83,14 @@ func (p *Predictor) Update(pc uint64, taken, mispredicted bool) {
 	}
 }
 
+// Warm trains the counters (and gshare history) with a resolved branch
+// outcome without charging prediction statistics. The functional
+// fast-forward prewarm uses it so the measured window starts with a
+// trained predictor but accuracy reflects only predictions actually made.
+func (p *Predictor) Warm(pc uint64, taken bool) {
+	p.Update(pc, taken, false)
+}
+
 func boolBit(b bool) uint64 {
 	if b {
 		return 1

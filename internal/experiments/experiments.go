@@ -39,6 +39,9 @@ type Options struct {
 	PrewarmInsts uint64
 	WarmupInsts  uint64
 	MeasureInsts uint64
+	// PrewarmMode overrides how the prewarm window is fast-forwarded
+	// (empty = sim default, fast-forward).
+	PrewarmMode sim.PrewarmMode
 
 	// Runner executes the experiment's simulation points. Sharing one
 	// Runner across experiments deduplicates the many design-space
@@ -99,6 +102,7 @@ func (o Options) config(bench string, memory mem.SystemConfig) sim.Config {
 		PrewarmInsts: o.PrewarmInsts,
 		WarmupInsts:  o.WarmupInsts,
 		MeasureInsts: o.MeasureInsts,
+		PrewarmMode:  o.PrewarmMode,
 	}
 }
 

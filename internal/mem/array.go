@@ -1,18 +1,34 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Array is a set-associative cache tag array with true-LRU replacement.
 // It tracks presence only (the simulator never models data values), so a
-// single Array serves every cache level in the hierarchy, including the
-// fully-associative line buffer (one set, 32 ways).
+// single Array serves every cache level in the hierarchy.
+//
+// Storage is flat and allocation-free after construction: each set owns
+// a fixed assoc-sized window of the tags slice, ordered most- to
+// least-recently used, with the current fill recorded per set. Each line
+// slot also carries a 64-bit metadata word (the sectored cache's valid
+// bitmap) and a dirty flag that travel with the tag through promotions,
+// fills and evictions — this replaces the per-cache side maps that used
+// to shadow the array and allocate on the hot path.
 type Array struct {
 	sets      int
 	assoc     int
 	lineBytes int
-	// ways[s] holds the tags of set s ordered most- to least-recently
-	// used; the slice length is the current fill of the set (<= assoc).
-	ways [][]uint64
+	setMask   uint64
+	setShift  uint8 // log2(sets); sets is validated a power of two
+
+	// tags[set*assoc : set*assoc+fill[set]] are the resident tags of a
+	// set, MRU first. meta and dirty are parallel per-slot payload.
+	tags  []uint64
+	meta  []uint64
+	dirty []bool
+	fill  []int32
 }
 
 // NewArray returns an array of the given total capacity, line size and
@@ -34,11 +50,17 @@ func NewArray(totalBytes, lineBytes, assoc int) (*Array, error) {
 	if !isPow2(sets) {
 		return nil, fmt.Errorf("mem: set count %d not a power of two", sets)
 	}
-	a := &Array{sets: sets, assoc: assoc, lineBytes: lineBytes, ways: make([][]uint64, sets)}
-	for i := range a.ways {
-		a.ways[i] = make([]uint64, 0, assoc)
-	}
-	return a, nil
+	return &Array{
+		sets:      sets,
+		assoc:     assoc,
+		lineBytes: lineBytes,
+		setMask:   uint64(sets - 1),
+		setShift:  uint8(bits.TrailingZeros(uint(sets))),
+		tags:      make([]uint64, lines),
+		meta:      make([]uint64, lines),
+		dirty:     make([]bool, lines),
+		fill:      make([]int32, sets),
+	}, nil
 }
 
 // MustNewArray is NewArray panicking on error, for geometry known valid.
@@ -61,33 +83,120 @@ func (a *Array) LineBytes() int { return a.lineBytes }
 
 func (a *Array) index(addr uint64) (set int, tag uint64) {
 	line := lineIndex(addr, a.lineBytes)
-	return int(line % uint64(a.sets)), line / uint64(a.sets)
+	return int(line & a.setMask), line >> a.setShift
+}
+
+// find returns the slot of addr within its set's occupied window, or -1.
+func (a *Array) find(addr uint64) (base, slot int, tag uint64) {
+	set, tag := a.index(addr)
+	base = set * a.assoc
+	w := a.tags[base : base+int(a.fill[set])]
+	for i := range w {
+		if w[i] == tag {
+			return base, i, tag
+		}
+	}
+	return base, -1, tag
+}
+
+// promote moves the hit slot to MRU position, carrying its payload. The
+// slot==1 case (the only non-trivial one in a two-way cache) is a plain
+// swap.
+func (a *Array) promote(base, slot int) {
+	if slot == 0 {
+		return
+	}
+	if slot == 1 {
+		a.tags[base], a.tags[base+1] = a.tags[base+1], a.tags[base]
+		a.meta[base], a.meta[base+1] = a.meta[base+1], a.meta[base]
+		a.dirty[base], a.dirty[base+1] = a.dirty[base+1], a.dirty[base]
+		return
+	}
+	t, m, d := a.tags[base+slot], a.meta[base+slot], a.dirty[base+slot]
+	copy(a.tags[base+1:base+slot+1], a.tags[base:base+slot])
+	copy(a.meta[base+1:base+slot+1], a.meta[base:base+slot])
+	copy(a.dirty[base+1:base+slot+1], a.dirty[base:base+slot])
+	a.tags[base], a.meta[base], a.dirty[base] = t, m, d
 }
 
 // Lookup reports whether addr's line is present and, on a hit, promotes
 // it to most recently used.
 func (a *Array) Lookup(addr uint64) bool {
-	set, tag := a.index(addr)
-	w := a.ways[set]
-	for i, t := range w {
-		if t == tag {
-			copy(w[1:i+1], w[:i])
-			w[0] = tag
-			return true
-		}
+	base, slot, _ := a.find(addr)
+	if slot < 0 {
+		return false
 	}
-	return false
+	a.promote(base, slot)
+	return true
 }
 
 // Probe reports presence without updating recency.
 func (a *Array) Probe(addr uint64) bool {
-	set, tag := a.index(addr)
-	for _, t := range a.ways[set] {
-		if t == tag {
-			return true
-		}
+	_, slot, _ := a.find(addr)
+	return slot >= 0
+}
+
+// ProbeMeta returns addr's line metadata without updating recency,
+// reporting whether the line is present.
+func (a *Array) ProbeMeta(addr uint64) (uint64, bool) {
+	base, slot, _ := a.find(addr)
+	if slot < 0 {
+		return 0, false
 	}
-	return false
+	return a.meta[base+slot], true
+}
+
+// OrMeta merges bits into addr's line metadata without updating recency,
+// reporting whether the line is present.
+func (a *Array) OrMeta(addr uint64, bits uint64) bool {
+	base, slot, _ := a.find(addr)
+	if slot < 0 {
+		return false
+	}
+	a.meta[base+slot] |= bits
+	return true
+}
+
+// MarkDirty sets addr's line dirty without updating recency, reporting
+// whether the line is present.
+func (a *Array) MarkDirty(addr uint64) bool {
+	base, slot, _ := a.find(addr)
+	if slot < 0 {
+		return false
+	}
+	a.dirty[base+slot] = true
+	return true
+}
+
+// FillState inserts addr's line as most recently used with the given
+// payload, evicting the LRU line of a full set; the eviction reports the
+// displaced line's base address and payload. Filling a line already
+// present promotes it and merges the payload in.
+func (a *Array) FillState(addr uint64, meta uint64, dirty bool) (evicted uint64, evMeta uint64, evDirty bool, didEvict bool) {
+	base, slot, tag := a.find(addr)
+	if slot >= 0 {
+		a.promote(base, slot)
+		a.meta[base] |= meta
+		a.dirty[base] = a.dirty[base] || dirty
+		return 0, 0, false, false
+	}
+	set := base / a.assoc
+	n := int(a.fill[set])
+	if n < a.assoc {
+		n++
+		a.fill[set] = int32(n)
+	} else {
+		last := base + n - 1
+		evicted = (a.tags[last]*uint64(a.sets) + uint64(set)) * uint64(a.lineBytes)
+		evMeta = a.meta[last]
+		evDirty = a.dirty[last]
+		didEvict = true
+	}
+	copy(a.tags[base+1:base+n], a.tags[base:base+n-1])
+	copy(a.meta[base+1:base+n], a.meta[base:base+n-1])
+	copy(a.dirty[base+1:base+n], a.dirty[base:base+n-1])
+	a.tags[base], a.meta[base], a.dirty[base] = tag, meta, dirty
+	return evicted, evMeta, evDirty, didEvict
 }
 
 // Fill inserts addr's line as most recently used, evicting the LRU line
@@ -95,50 +204,59 @@ func (a *Array) Probe(addr uint64) bool {
 // an eviction happened. Filling a line that is already present just
 // promotes it.
 func (a *Array) Fill(addr uint64) (evicted uint64, didEvict bool) {
-	if a.Lookup(addr) {
-		return 0, false
+	evicted, _, _, did := a.FillState(addr, 0, false)
+	return evicted, did
+}
+
+// InvalidateState removes addr's line if present, returning its payload
+// and whether it was resident.
+func (a *Array) InvalidateState(addr uint64) (meta uint64, dirty bool, ok bool) {
+	base, slot, _ := a.find(addr)
+	if slot < 0 {
+		return 0, false, false
 	}
-	set, tag := a.index(addr)
-	w := a.ways[set]
-	if len(w) < a.assoc {
-		w = append(w, 0)
-	} else {
-		victim := w[len(w)-1]
-		evicted = (victim*uint64(a.sets) + uint64(set)) * uint64(a.lineBytes)
-		didEvict = true
-	}
-	copy(w[1:], w)
-	w[0] = tag
-	a.ways[set] = w
-	return evicted, didEvict
+	set := base / a.assoc
+	n := int(a.fill[set])
+	meta, dirty = a.meta[base+slot], a.dirty[base+slot]
+	copy(a.tags[base+slot:base+n-1], a.tags[base+slot+1:base+n])
+	copy(a.meta[base+slot:base+n-1], a.meta[base+slot+1:base+n])
+	copy(a.dirty[base+slot:base+n-1], a.dirty[base+slot+1:base+n])
+	a.fill[set] = int32(n - 1)
+	return meta, dirty, true
 }
 
 // Invalidate removes addr's line if present, reporting whether it was.
 func (a *Array) Invalidate(addr uint64) bool {
-	set, tag := a.index(addr)
-	w := a.ways[set]
-	for i, t := range w {
-		if t == tag {
-			copy(w[i:], w[i+1:])
-			a.ways[set] = w[:len(w)-1]
-			return true
+	_, _, ok := a.InvalidateState(addr)
+	return ok
+}
+
+// CountDirty returns the number of resident dirty lines.
+func (a *Array) CountDirty() int {
+	n := 0
+	for set := 0; set < a.sets; set++ {
+		base := set * a.assoc
+		for i := 0; i < int(a.fill[set]); i++ {
+			if a.dirty[base+i] {
+				n++
+			}
 		}
 	}
-	return false
+	return n
 }
 
 // Occupancy returns the number of valid lines.
 func (a *Array) Occupancy() int {
 	n := 0
-	for _, w := range a.ways {
-		n += len(w)
+	for _, f := range a.fill {
+		n += int(f)
 	}
 	return n
 }
 
 // Reset invalidates every line.
 func (a *Array) Reset() {
-	for i := range a.ways {
-		a.ways[i] = a.ways[i][:0]
+	for i := range a.fill {
+		a.fill[i] = 0
 	}
 }

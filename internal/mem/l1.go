@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // WritePolicy selects how stores propagate below the primary cache.
 type WritePolicy int
@@ -117,21 +120,43 @@ type LoadResult struct {
 	Miss bool
 }
 
+// spillState preserves the dirty flag and sector bitmap of a line that
+// left the tag arrays while its state still mattered — either a warm
+// (untimed) eviction, or a store completing after its line was evicted
+// (possible because the store buffer drains behind an MSHR miss). The
+// hot path never touches the map: resident lines keep this state packed
+// in the Array slots, so the map stays empty in steady state.
+type spillState struct {
+	meta  uint64
+	dirty bool
+}
+
 // L1Cache is the lockup-free primary data cache plus the store buffer
 // that decouples retired stores from port availability.
+//
+// Dirty flags and sector-valid bitmaps live in the tag array slots (and
+// victim-buffer slots) themselves; the spill map catches only the rare
+// off-array residue described at spillState. This keeps TryLoad and
+// DrainStores free of map traffic and heap allocation.
 type L1Cache struct {
-	cfg    L1Config
-	array  *Array
-	ports  *portScheduler
-	mshrs  *MSHRFile
-	lb     *LineBuffer
-	next   Level
-	storeQ []storeReq
-	dirty  map[uint64]struct{} // dirty lines (line index), write-back policy
-	victim *Array              // optional victim buffer
-	// sectors maps a resident line index to its valid-sector bitmap
-	// (sectored mode only).
-	sectors map[uint64]uint64
+	cfg      L1Config
+	array    *Array
+	ports    *portScheduler
+	mshrs    *MSHRFile
+	lb       *LineBuffer
+	next     Level
+	victim   *Array // optional victim buffer
+	sectored bool
+	spill    map[uint64]spillState // keyed by line index; nil until first spill
+
+	// storeBuf is a fixed-capacity ring of buffered store addresses.
+	// sbBlkCnt counts buffered stores by hashed 8-byte block so the
+	// per-load forwarding probe can skip the ring scan when no buffered
+	// store can match (the common case).
+	storeBuf  []uint64
+	storeHead int
+	storeLen  int
+	sbBlkCnt  [64]uint8
 
 	loads         Counter
 	loadMisses    Counter
@@ -143,10 +168,6 @@ type L1Cache struct {
 	mshrStalls    Counter
 	storeQFullEvt Counter
 	writebacks    Counter
-}
-
-type storeReq struct {
-	addr uint64
 }
 
 // NewL1Cache builds the primary data cache in front of next.
@@ -168,7 +189,7 @@ func NewL1Cache(cfg L1Config, next Level) (*L1Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	l1 := &L1Cache{cfg: cfg, array: array, ports: ports, mshrs: NewMSHRFile(cfg.MSHRs), next: next, dirty: map[uint64]struct{}{}}
+	l1 := &L1Cache{cfg: cfg, array: array, ports: ports, mshrs: NewMSHRFile(cfg.MSHRs), next: next}
 	if cfg.LineBuffer {
 		entries := cfg.LineBufferEntries
 		if entries == 0 {
@@ -190,7 +211,7 @@ func NewL1Cache(cfg L1Config, next Level) (*L1Cache, error) {
 		if cfg.LineBytes/cfg.SectorBytes > 64 {
 			return nil, fmt.Errorf("mem: %d sectors per line exceeds the 64-sector bitmap", cfg.LineBytes/cfg.SectorBytes)
 		}
-		l1.sectors = map[uint64]uint64{}
+		l1.sectored = true
 	}
 	if cfg.VictimCache {
 		entries := cfg.VictimEntries
@@ -206,7 +227,7 @@ func NewL1Cache(cfg L1Config, next Level) (*L1Cache, error) {
 	if depth == 0 {
 		depth = 64
 	}
-	l1.storeQ = make([]storeReq, 0, depth)
+	l1.storeBuf = make([]uint64, depth)
 	return l1, nil
 }
 
@@ -223,10 +244,23 @@ func (c *L1Cache) line(addr uint64) uint64 { return lineIndex(addr, c.cfg.LineBy
 // or the sector index in sectored mode (distinct sectors of one line
 // are independent misses there).
 func (c *L1Cache) mshrKey(addr uint64) uint64 {
-	if c.sectors != nil {
+	if c.sectored {
 		return lineIndex(addr, c.cfg.SectorBytes)
 	}
 	return c.line(addr)
+}
+
+// takeSpill removes and returns any spilled state for addr's line.
+func (c *L1Cache) takeSpill(addr uint64) (spillState, bool) {
+	if len(c.spill) == 0 {
+		return spillState{}, false
+	}
+	line := c.line(addr)
+	sp, ok := c.spill[line]
+	if ok {
+		delete(c.spill, line)
+	}
+	return sp, ok
 }
 
 // TryLoad attempts to start a load to addr at cycle now. When resources
@@ -258,14 +292,14 @@ func (c *L1Cache) TryLoad(now Cycle, addr uint64) (LoadResult, bool) {
 		c.fillLineBuffer(done, addr)
 		return LoadResult{Done: done, Miss: true}, true
 	}
-	if c.array.Probe(addr) {
+	if base, slot, _ := c.array.find(addr); slot >= 0 {
 		if !c.ports.tryLoad(now, addr) {
 			c.retries.Inc()
 			return LoadResult{}, false
 		}
-		c.array.Lookup(addr) // promote to MRU
+		c.array.promote(base, slot) // line is now at base
 		c.loads.Inc()
-		if c.sectors != nil && !c.sectorPresent(addr) {
+		if c.sectored && c.array.meta[base]&c.sectorBit(addr) == 0 {
 			// Sector miss on a resident line: fetch just the sector.
 			if !c.mshrs.HasFree(now) {
 				c.mshrStalls.Inc()
@@ -274,7 +308,7 @@ func (c *L1Cache) TryLoad(now Cycle, addr uint64) (LoadResult, bool) {
 			c.loadMisses.Inc()
 			done := c.next.Access(now+Cycle(c.cfg.HitCycles), addr, c.cfg.SectorBytes)
 			c.mshrs.Allocate(now, key, done)
-			c.markSector(addr)
+			c.array.meta[base] |= c.sectorBit(addr)
 			c.fillLineBuffer(done, addr)
 			return LoadResult{Done: done, Miss: true}, true
 		}
@@ -289,10 +323,10 @@ func (c *L1Cache) TryLoad(now Cycle, addr uint64) (LoadResult, bool) {
 			c.retries.Inc()
 			return LoadResult{}, false
 		}
-		c.victim.Invalidate(addr)
+		_, wasDirty, _ := c.victim.InvalidateState(addr)
 		c.loads.Inc()
 		c.victimHits.Inc()
-		c.fill(now, addr)
+		c.fill(now, addr, 0, wasDirty)
 		done := now + Cycle(c.cfg.HitCycles) + 1
 		c.fillLineBuffer(done, addr)
 		return LoadResult{Done: done}, true
@@ -312,55 +346,48 @@ func (c *L1Cache) TryLoad(now Cycle, addr uint64) (LoadResult, bool) {
 	// sectored cache fetches only the missing sector; a conventional
 	// cache fetches the whole line.
 	fetch := c.cfg.LineBytes
-	if c.sectors != nil {
+	var meta uint64
+	if c.sectored {
 		fetch = c.cfg.SectorBytes
+		meta = c.sectorBit(addr)
 	}
 	done := c.next.Access(now+Cycle(c.cfg.HitCycles), addr, fetch)
 	c.mshrs.Allocate(now, key, done)
-	c.fill(now, addr)
-	if c.sectors != nil {
-		c.sectors[c.line(addr)] = c.sectorBit(addr)
-	}
+	c.fill(now, addr, meta, false)
 	c.fillLineBuffer(done, addr)
 	return LoadResult{Done: done, Miss: true}, true
 }
 
-// sectorBit returns the bitmask of addr's sector within its line.
+// sectorBit returns the bitmask of addr's sector within its line. Line
+// and sector sizes are validated powers of two, so the offset math is
+// mask-and-shift.
 func (c *L1Cache) sectorBit(addr uint64) uint64 {
-	return 1 << (addr % uint64(c.cfg.LineBytes) / uint64(c.cfg.SectorBytes))
+	return 1 << (addr & uint64(c.cfg.LineBytes-1) >> uint(bits.TrailingZeros(uint(c.cfg.SectorBytes))))
 }
 
-// sectorPresent reports whether addr's sector is valid (sectored mode).
-func (c *L1Cache) sectorPresent(addr uint64) bool {
-	return c.sectors[c.line(addr)]&c.sectorBit(addr) != 0
-}
-
-// markSector validates addr's sector.
-func (c *L1Cache) markSector(addr uint64) {
-	c.sectors[c.line(addr)] |= c.sectorBit(addr)
-}
-
-// fill inserts addr's line into the tag array. A displaced line parks
-// in the victim buffer when one is configured (retaining its dirty
-// state); otherwise — or when the victim buffer itself displaces a
-// line — dirty data is written back to the next level.
-func (c *L1Cache) fill(now Cycle, addr uint64) {
-	evicted, did := c.array.Fill(addr)
+// fill inserts addr's line into the tag array with the given initial
+// sector bitmap and dirty flag. A displaced line parks in the victim
+// buffer when one is configured (retaining its dirty state, dropping
+// its sector bitmap — a swap-in refetches sectors); otherwise — or when
+// the victim buffer itself displaces a line — dirty data is written
+// back to the next level.
+func (c *L1Cache) fill(now Cycle, addr uint64, meta uint64, dirty bool) {
+	if sp, ok := c.takeSpill(addr); ok {
+		// The line went dirty while off-array; it is dirty on arrival.
+		// Any stale sector bitmap is overwritten by the fresh fetch.
+		dirty = dirty || sp.dirty
+	}
+	evicted, _, evDirty, did := c.array.FillState(addr, meta, dirty)
 	if !did {
 		return
 	}
-	if c.sectors != nil {
-		delete(c.sectors, c.line(evicted))
-	}
 	if c.victim != nil {
-		evicted, did = c.victim.Fill(evicted)
+		evicted, _, evDirty, did = c.victim.FillState(evicted, 0, evDirty)
 		if !did {
 			return
 		}
 	}
-	line := c.line(evicted)
-	if _, dirty := c.dirty[line]; dirty {
-		delete(c.dirty, line)
+	if evDirty {
 		c.writebacks.Inc()
 		c.next.WriteBack(now+Cycle(c.cfg.HitCycles), evicted, c.cfg.LineBytes)
 	}
@@ -376,24 +403,38 @@ func (c *L1Cache) fillLineBuffer(availAt Cycle, addr uint64) {
 // It reports false when the store buffer is full, in which case the CPU
 // must stall retirement and retry.
 func (c *L1Cache) EnqueueStore(addr uint64) bool {
-	if len(c.storeQ) == cap(c.storeQ) {
+	if c.storeLen == len(c.storeBuf) {
 		c.storeQFullEvt.Inc()
 		return false
 	}
-	c.storeQ = append(c.storeQ, storeReq{addr: addr})
+	i := c.storeHead + c.storeLen
+	if i >= len(c.storeBuf) {
+		i -= len(c.storeBuf)
+	}
+	c.storeBuf[i] = addr
+	c.storeLen++
+	c.sbBlkCnt[(addr>>3)&63]++
 	return true
 }
 
 // StoreBufferLen returns the number of buffered stores.
-func (c *L1Cache) StoreBufferLen() int { return len(c.storeQ) }
+func (c *L1Cache) StoreBufferLen() int { return c.storeLen }
 
 // StoreBufferProbe reports whether a buffered store targets the same
 // 8-byte block as addr; the load/store unit forwards from it if so.
 func (c *L1Cache) StoreBufferProbe(addr uint64) bool {
 	block := addr >> 3
-	for i := range c.storeQ {
-		if c.storeQ[i].addr>>3 == block {
+	if c.sbBlkCnt[block&63] == 0 {
+		return false
+	}
+	i := c.storeHead
+	for n := 0; n < c.storeLen; n++ {
+		if c.storeBuf[i]>>3 == block {
 			return true
+		}
+		i++
+		if i == len(c.storeBuf) {
+			i = 0
 		}
 	}
 	return false
@@ -407,68 +448,76 @@ func (c *L1Cache) StoreBufferProbe(addr uint64) bool {
 // simply stays buffered.
 func (c *L1Cache) DrainStores(now Cycle) {
 	drained := 0
-	for len(c.storeQ) > 0 {
+	for c.storeLen > 0 {
 		if c.cfg.maxStoreDrainPerCycle > 0 && drained >= c.cfg.maxStoreDrainPerCycle {
 			return
 		}
-		s := c.storeQ[0]
-		key := c.mshrKey(s.addr)
+		addr := c.storeBuf[c.storeHead]
+		key := c.mshrKey(addr)
 		if _, merged := c.mshrs.Lookup(now, key); merged {
 			// Line already in flight; the store merges with the fill.
-			if !c.ports.tryStore(now, s.addr) {
+			if !c.ports.tryStore(now, addr) {
 				return
 			}
-			c.markWritten(now, s.addr)
-		} else if c.array.Probe(s.addr) {
-			if !c.ports.tryStore(now, s.addr) {
+			c.markWritten(now, addr)
+		} else if base, slot, _ := c.array.find(addr); slot >= 0 {
+			if !c.ports.tryStore(now, addr) {
 				return
 			}
-			c.array.Lookup(s.addr)
-			if c.sectors != nil && !c.sectorPresent(s.addr) {
+			c.array.promote(base, slot) // line is now at base
+			if c.sectored && c.array.meta[base]&c.sectorBit(addr) == 0 {
 				// Sector write-allocate on a resident line.
 				if !c.mshrs.HasFree(now) {
 					return
 				}
-				done := c.next.Access(now+Cycle(c.cfg.HitCycles), s.addr, c.cfg.SectorBytes)
+				done := c.next.Access(now+Cycle(c.cfg.HitCycles), addr, c.cfg.SectorBytes)
 				c.mshrs.Allocate(now, key, done)
-				c.markSector(s.addr)
+				c.array.meta[base] |= c.sectorBit(addr)
 				c.storeMisses.Inc()
 			}
 			c.stores.Inc()
-			c.markWritten(now, s.addr)
-		} else if c.victim != nil && c.victim.Probe(s.addr) {
+			if c.cfg.Policy == WriteThrough {
+				c.next.WriteBack(now, addr, 8)
+			} else {
+				c.array.dirty[base] = true
+			}
+		} else if c.victim != nil && c.victim.Probe(addr) {
 			// Swap the line back in from the victim buffer.
-			if !c.ports.tryStore(now, s.addr) {
+			if !c.ports.tryStore(now, addr) {
 				return
 			}
-			c.victim.Invalidate(s.addr)
-			c.fill(now, s.addr)
+			_, wasDirty, _ := c.victim.InvalidateState(addr)
+			c.fill(now, addr, 0, wasDirty)
 			c.victimHits.Inc()
 			c.stores.Inc()
-			c.markWritten(now, s.addr)
+			c.markWritten(now, addr)
 		} else {
 			// Write-allocate miss.
 			if !c.mshrs.HasFree(now) {
 				return
 			}
-			if !c.ports.tryStore(now, s.addr) {
+			if !c.ports.tryStore(now, addr) {
 				return
 			}
 			fetch := c.cfg.LineBytes
-			if c.sectors != nil {
+			var meta uint64
+			if c.sectored {
 				fetch = c.cfg.SectorBytes
+				meta = c.sectorBit(addr)
 			}
-			done := c.next.Access(now+Cycle(c.cfg.HitCycles), s.addr, fetch)
+			done := c.next.Access(now+Cycle(c.cfg.HitCycles), addr, fetch)
 			c.mshrs.Allocate(now, key, done)
-			c.fill(now, s.addr)
-			if c.sectors != nil {
-				c.sectors[c.line(s.addr)] = c.sectorBit(s.addr)
-			}
+			c.fill(now, addr, meta, false)
 			c.stores.Inc()
 			c.storeMisses.Inc()
-			c.markWritten(now, s.addr)
+			c.markWritten(now, addr)
 		}
-		c.storeQ = c.storeQ[:copy(c.storeQ, c.storeQ[1:])]
+		c.storeHead++
+		if c.storeHead == len(c.storeBuf) {
+			c.storeHead = 0
+		}
+		c.storeLen--
+		c.sbBlkCnt[(addr>>3)&63]--
 		drained++
 	}
 }
@@ -497,13 +546,28 @@ func (c *L1Cache) BankConflicts() uint64 { return c.ports.BankConflicts() }
 
 // markWritten records a completed store: under write-back the line goes
 // dirty; under write-through the stored data (8 bytes) crosses the bus
-// to the next level immediately.
+// to the next level immediately. A store whose line has already left
+// both arrays (evicted behind an outstanding miss) records its dirty
+// state in the spill map so the eventual refill stays write-back
+// correct.
 func (c *L1Cache) markWritten(now Cycle, addr uint64) {
 	if c.cfg.Policy == WriteThrough {
 		c.next.WriteBack(now, addr, 8)
 		return
 	}
-	c.dirty[c.line(addr)] = struct{}{}
+	if c.array.MarkDirty(addr) {
+		return
+	}
+	if c.victim != nil && c.victim.MarkDirty(addr) {
+		return
+	}
+	line := c.line(addr)
+	if c.spill == nil {
+		c.spill = make(map[uint64]spillState, 8)
+	}
+	sp := c.spill[line]
+	sp.dirty = true
+	c.spill[line] = sp
 }
 
 // Writebacks returns the number of dirty lines written to the next
@@ -511,7 +575,18 @@ func (c *L1Cache) markWritten(now Cycle, addr uint64) {
 func (c *L1Cache) Writebacks() uint64 { return c.writebacks.Value() }
 
 // DirtyLines returns the current number of dirty lines.
-func (c *L1Cache) DirtyLines() int { return len(c.dirty) }
+func (c *L1Cache) DirtyLines() int {
+	n := c.array.CountDirty()
+	if c.victim != nil {
+		n += c.victim.CountDirty()
+	}
+	for _, sp := range c.spill {
+		if sp.dirty {
+			n++
+		}
+	}
+	return n
+}
 
 // StoresDrained returns stores written into the cache.
 func (c *L1Cache) StoresDrained() uint64 { return c.stores.Value() }
@@ -526,13 +601,32 @@ func (c *L1Cache) MSHRs() *MSHRFile { return c.mshrs }
 // or statistics. It reports whether the line was already present. Used
 // to pre-warm caches to steady state before a measured run, standing in
 // for the >100M-instruction runs of the original study.
+//
+// Warm evictions bypass the victim buffer and write back nothing, but
+// they must not lose state: a displaced line's dirty flag and sector
+// bitmap park in the spill map and are folded back in if the line
+// returns.
 func (c *L1Cache) WarmTouch(addr uint64) bool {
-	if c.sectors != nil {
-		defer c.markSector(addr)
+	var bit uint64
+	if c.sectored {
+		bit = c.sectorBit(addr)
 	}
-	if c.array.Lookup(addr) {
+	if base, slot, _ := c.array.find(addr); slot >= 0 {
+		c.array.promote(base, slot)
+		c.array.meta[base] |= bit
 		return true
 	}
-	c.array.Fill(addr)
+	meta, dirty := bit, false
+	if sp, ok := c.takeSpill(addr); ok {
+		meta |= sp.meta
+		dirty = sp.dirty
+	}
+	evicted, evMeta, evDirty, did := c.array.FillState(addr, meta, dirty)
+	if did && (evDirty || evMeta != 0) {
+		if c.spill == nil {
+			c.spill = make(map[uint64]spillState, 8)
+		}
+		c.spill[c.line(evicted)] = spillState{meta: evMeta, dirty: evDirty}
+	}
 	return false
 }

@@ -69,7 +69,10 @@ type L2Cache struct {
 	hit   Cycle
 	up    *Bus // processor chip <-> L2
 	next  Level
-	dirty map[uint64]struct{} // dirty L2 lines (line index)
+	// dirtySpill preserves the dirty flag of lines displaced by warm
+	// (untimed) touches, which write back nothing; resident lines keep
+	// their dirty flag in the tag array slots. Empty in steady state.
+	dirtySpill map[uint64]struct{}
 
 	accesses   Counter
 	misses     Counter
@@ -102,7 +105,7 @@ func NewL2Cache(cfg L2Config, up *Bus, next Level) (*L2Cache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &L2Cache{array: a, hit: Cycle(cfg.HitCycles), up: up, next: next, dirty: map[uint64]struct{}{}}, nil
+	return &L2Cache{array: a, hit: Cycle(cfg.HitCycles), up: up, next: next}, nil
 }
 
 // Access implements Level.
@@ -121,13 +124,19 @@ func (l *L2Cache) Access(now Cycle, addr uint64, lineBytes int) Cycle {
 
 // fill inserts addr's line, writing back a displaced dirty line.
 func (l *L2Cache) fill(now Cycle, addr uint64) {
-	evicted, did := l.array.Fill(addr)
+	dirty := false
+	if len(l.dirtySpill) != 0 {
+		line := lineIndex(addr, l.array.LineBytes())
+		if _, ok := l.dirtySpill[line]; ok {
+			delete(l.dirtySpill, line)
+			dirty = true
+		}
+	}
+	evicted, _, evDirty, did := l.array.FillState(addr, 0, dirty)
 	if !did {
 		return
 	}
-	line := lineIndex(evicted, l.array.LineBytes())
-	if _, dirty := l.dirty[line]; dirty {
-		delete(l.dirty, line)
+	if evDirty {
 		l.writebacks.Inc()
 		l.next.WriteBack(now+l.hit, evicted, l.array.LineBytes())
 	}
@@ -141,16 +150,32 @@ func (l *L2Cache) WriteBack(now Cycle, addr uint64, bytes int) {
 	if !l.array.Lookup(addr) {
 		l.fill(now, addr)
 	}
-	l.dirty[lineIndex(addr, l.array.LineBytes())] = struct{}{}
+	l.array.MarkDirty(addr)
 }
 
 // WarmTouch brings addr's line into the tag array without charging time
-// or statistics, reporting whether it was already present.
+// or statistics, reporting whether it was already present. A warm
+// eviction writes back nothing, but a displaced dirty line's flag parks
+// in the spill map so a later refill stays write-back correct.
 func (l *L2Cache) WarmTouch(addr uint64) bool {
 	if l.array.Lookup(addr) {
 		return true
 	}
-	l.array.Fill(addr)
+	dirty := false
+	if len(l.dirtySpill) != 0 {
+		line := lineIndex(addr, l.array.LineBytes())
+		if _, ok := l.dirtySpill[line]; ok {
+			delete(l.dirtySpill, line)
+			dirty = true
+		}
+	}
+	evicted, _, evDirty, did := l.array.FillState(addr, 0, dirty)
+	if did && evDirty {
+		if l.dirtySpill == nil {
+			l.dirtySpill = make(map[uint64]struct{}, 8)
+		}
+		l.dirtySpill[lineIndex(evicted, l.array.LineBytes())] = struct{}{}
+	}
 	return false
 }
 
@@ -172,7 +197,9 @@ type DRAMCache struct {
 	array *Array
 	hit   Cycle
 	next  Level
-	dirty map[uint64]struct{} // dirty rows (row index)
+	// dirtySpill preserves the dirty flag of rows displaced by warm
+	// touches, as in L2Cache; resident rows keep it in the array slots.
+	dirtySpill map[uint64]struct{}
 
 	accesses   Counter
 	misses     Counter
@@ -204,7 +231,7 @@ func NewDRAMCache(cfg DRAMConfig, next Level) (*DRAMCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DRAMCache{array: a, hit: Cycle(cfg.HitCycles), next: next, dirty: map[uint64]struct{}{}}, nil
+	return &DRAMCache{array: a, hit: Cycle(cfg.HitCycles), next: next}, nil
 }
 
 // Access implements Level. The row-buffer primary cache's 512-byte lines
@@ -223,13 +250,19 @@ func (d *DRAMCache) Access(now Cycle, addr uint64, lineBytes int) Cycle {
 
 // fill inserts addr's row, writing a displaced dirty row to memory.
 func (d *DRAMCache) fill(now Cycle, addr uint64) {
-	evicted, did := d.array.Fill(addr)
+	dirty := false
+	if len(d.dirtySpill) != 0 {
+		row := lineIndex(addr, d.array.LineBytes())
+		if _, ok := d.dirtySpill[row]; ok {
+			delete(d.dirtySpill, row)
+			dirty = true
+		}
+	}
+	evicted, _, evDirty, did := d.array.FillState(addr, 0, dirty)
 	if !did {
 		return
 	}
-	row := lineIndex(evicted, d.array.LineBytes())
-	if _, dirty := d.dirty[row]; dirty {
-		delete(d.dirty, row)
+	if evDirty {
 		d.writebacks.Inc()
 		d.next.WriteBack(now+d.hit, evicted, d.array.LineBytes())
 	}
@@ -242,16 +275,31 @@ func (d *DRAMCache) WriteBack(now Cycle, addr uint64, bytes int) {
 	if !d.array.Lookup(addr) {
 		d.fill(now, addr)
 	}
-	d.dirty[lineIndex(addr, d.array.LineBytes())] = struct{}{}
+	d.array.MarkDirty(addr)
 }
 
 // WarmTouch brings addr's row into the tag array without charging time
-// or statistics, reporting whether it was already present.
+// or statistics, reporting whether it was already present. As in
+// L2Cache, a displaced dirty row's flag parks in the spill map.
 func (d *DRAMCache) WarmTouch(addr uint64) bool {
 	if d.array.Lookup(addr) {
 		return true
 	}
-	d.array.Fill(addr)
+	dirty := false
+	if len(d.dirtySpill) != 0 {
+		row := lineIndex(addr, d.array.LineBytes())
+		if _, ok := d.dirtySpill[row]; ok {
+			delete(d.dirtySpill, row)
+			dirty = true
+		}
+	}
+	evicted, _, evDirty, did := d.array.FillState(addr, 0, dirty)
+	if did && evDirty {
+		if d.dirtySpill == nil {
+			d.dirtySpill = make(map[uint64]struct{}, 8)
+		}
+		d.dirtySpill[lineIndex(evicted, d.array.LineBytes())] = struct{}{}
+	}
 	return false
 }
 

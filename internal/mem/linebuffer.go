@@ -20,17 +20,19 @@ package mem
 // supply a single-cycle hit early.
 type LineBuffer struct {
 	blockBytes int
-	entries    []lbEntry // most recently used first
+
+	// blocks[:n] are the resident block indices, most recently used
+	// first, with avail[:n] the parallel availability cycles. Keeping the
+	// keys in their own dense array halves the bytes the per-load scans
+	// pull through the cache.
+	blocks []uint64
+	avail  []Cycle
+	n      int
 
 	hits     Counter
 	lookups  Counter
 	fills    Counter
 	tooEarly Counter
-}
-
-type lbEntry struct {
-	block   uint64 // block index (addr / blockBytes)
-	availAt Cycle
 }
 
 // DefaultLineBufferEntries is the paper's 32-entry configuration.
@@ -48,11 +50,15 @@ func NewLineBuffer(entries, blockBytes int) (*LineBuffer, error) {
 	if !isPow2(blockBytes) {
 		return nil, errNotPow2("line buffer block size", blockBytes)
 	}
-	return &LineBuffer{blockBytes: blockBytes, entries: make([]lbEntry, 0, entries)}, nil
+	return &LineBuffer{
+		blockBytes: blockBytes,
+		blocks:     make([]uint64, entries),
+		avail:      make([]Cycle, entries),
+	}, nil
 }
 
 // Entries returns the capacity of the buffer.
-func (b *LineBuffer) Entries() int { return cap(b.entries) }
+func (b *LineBuffer) Entries() int { return len(b.blocks) }
 
 // BlockBytes returns the block granularity.
 func (b *LineBuffer) BlockBytes() int { return b.blockBytes }
@@ -62,15 +68,16 @@ func (b *LineBuffer) BlockBytes() int { return b.blockBytes }
 func (b *LineBuffer) Lookup(now Cycle, addr uint64) bool {
 	b.lookups.Inc()
 	blk := lineIndex(addr, b.blockBytes)
-	for i := range b.entries {
-		if b.entries[i].block == blk {
-			if b.entries[i].availAt > now {
+	for i := 0; i < b.n; i++ {
+		if b.blocks[i] == blk {
+			at := b.avail[i]
+			if at > now {
 				b.tooEarly.Inc()
 				return false
 			}
-			e := b.entries[i]
-			copy(b.entries[1:i+1], b.entries[:i])
-			b.entries[0] = e
+			copy(b.blocks[1:i+1], b.blocks[:i])
+			copy(b.avail[1:i+1], b.avail[:i])
+			b.blocks[0], b.avail[0] = blk, at
 			b.hits.Inc()
 			return true
 		}
@@ -83,24 +90,26 @@ func (b *LineBuffer) Lookup(now Cycle, addr uint64) bool {
 // evicting the least recently used entry if full.
 func (b *LineBuffer) Fill(availAt Cycle, addr uint64) {
 	blk := lineIndex(addr, b.blockBytes)
-	for i := range b.entries {
-		if b.entries[i].block == blk {
+	for i := 0; i < b.n; i++ {
+		if b.blocks[i] == blk {
 			// Refresh recency; keep the earlier availability.
-			e := b.entries[i]
-			if availAt < e.availAt {
-				e.availAt = availAt
+			at := b.avail[i]
+			if availAt < at {
+				at = availAt
 			}
-			copy(b.entries[1:i+1], b.entries[:i])
-			b.entries[0] = e
+			copy(b.blocks[1:i+1], b.blocks[:i])
+			copy(b.avail[1:i+1], b.avail[:i])
+			b.blocks[0], b.avail[0] = blk, at
 			return
 		}
 	}
 	b.fills.Inc()
-	if len(b.entries) < cap(b.entries) {
-		b.entries = append(b.entries, lbEntry{})
+	if b.n < len(b.blocks) {
+		b.n++
 	}
-	copy(b.entries[1:], b.entries)
-	b.entries[0] = lbEntry{block: blk, availAt: availAt}
+	copy(b.blocks[1:b.n], b.blocks[:b.n-1])
+	copy(b.avail[1:b.n], b.avail[:b.n-1])
+	b.blocks[0], b.avail[0] = blk, availAt
 }
 
 // Hits returns the number of successful single-cycle lookups.

@@ -13,7 +13,10 @@
 // paper's assumption that stores never delay loads.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cycle is a point in simulated time, in processor clocks.
 type Cycle uint64
@@ -26,10 +29,12 @@ func errNotPow2(what string, v int) error {
 	return fmt.Errorf("mem: %s must be a power of two, got %d", what, v)
 }
 
-// lineAddr returns the line-aligned address index for the given byte
-// address and line size (which must be a power of two).
+// lineIndex returns the line-aligned address index for the given byte
+// address and line size (which must be a power of two — every
+// constructor validates this, so the division is a shift; this runs on
+// every access at every level).
 func lineIndex(addr uint64, lineBytes int) uint64 {
-	return addr / uint64(lineBytes)
+	return addr >> uint(bits.TrailingZeros(uint(lineBytes)))
 }
 
 func maxCycle(a, b Cycle) Cycle {

@@ -9,6 +9,10 @@ package mem
 // live is a structural stall and must retry.
 type MSHRFile struct {
 	entries []mshrEntry
+	// liveN counts entries whose live flag is set (some may be expirable
+	// but not yet swept); it lets the per-access paths skip the scans
+	// entirely in the common all-idle case.
+	liveN int
 
 	primary   Counter
 	secondary Counter
@@ -34,9 +38,13 @@ func (m *MSHRFile) Size() int { return len(m.entries) }
 
 // expire releases entries whose fills completed at or before now.
 func (m *MSHRFile) expire(now Cycle) {
+	if m.liveN == 0 {
+		return
+	}
 	for i := range m.entries {
 		if m.entries[i].live && m.entries[i].done <= now {
 			m.entries[i].live = false
+			m.liveN--
 		}
 	}
 }
@@ -44,6 +52,9 @@ func (m *MSHRFile) expire(now Cycle) {
 // Lookup reports whether a miss to line is already outstanding at cycle
 // now, returning the fill completion cycle for a secondary-miss merge.
 func (m *MSHRFile) Lookup(now Cycle, line uint64) (Cycle, bool) {
+	if m.liveN == 0 {
+		return 0, false
+	}
 	m.expire(now)
 	for i := range m.entries {
 		if m.entries[i].live && m.entries[i].line == line {
@@ -56,6 +67,11 @@ func (m *MSHRFile) Lookup(now Cycle, line uint64) (Cycle, bool) {
 
 // HasFree reports whether a new miss could allocate a register at now.
 func (m *MSHRFile) HasFree(now Cycle) bool {
+	if m.liveN < len(m.entries) {
+		// A flag is clear, so a register is free without sweeping (the
+		// deferred sweep happens on the next expire that matters).
+		return true
+	}
 	m.expire(now)
 	for i := range m.entries {
 		if !m.entries[i].live {
@@ -73,6 +89,7 @@ func (m *MSHRFile) Allocate(now Cycle, line uint64, done Cycle) bool {
 	for i := range m.entries {
 		if !m.entries[i].live {
 			m.entries[i] = mshrEntry{line: line, done: done, live: true}
+			m.liveN++
 			m.primary.Inc()
 			return true
 		}

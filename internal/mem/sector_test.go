@@ -120,8 +120,11 @@ func TestSectoredEvictionClearsSectors(t *testing.T) {
 	if !r.Miss {
 		t.Error("evicted line must fully miss")
 	}
-	if len(c.sectors) > 2 {
-		t.Errorf("stale sector bitmaps: %d entries for a 2-line cache", len(c.sectors))
+	if meta, ok := c.array.ProbeMeta(0x0000); !ok || meta != 1 {
+		t.Errorf("refetched line bitmap = %b, want just the missed sector", meta)
+	}
+	if len(c.spill) != 0 {
+		t.Errorf("stale spilled sector state: %d entries", len(c.spill))
 	}
 }
 

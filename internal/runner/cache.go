@@ -17,7 +17,10 @@ import (
 // v2: sim.Config and everything it embeds gained stable snake_case
 // JSON names and textual port-kind/write-policy enums, changing the
 // canonical encoding (and the stored Result encoding) wholesale.
-const keyVersion = "hbcache-job-v2"
+// v3: prewarm_mode was added and its default (fast-forward) trains the
+// branch predictor during prewarm, shifting IPC slightly; results
+// cached under v2 were produced with the cold-predictor stream prewarm.
+const keyVersion = "hbcache-job-v3"
 
 // keyEnvelope is what gets hashed: the version string plus the
 // canonicalized config. sim.Config and everything it embeds are plain

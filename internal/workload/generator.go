@@ -50,10 +50,26 @@ type Generator struct {
 	slotIdx   int
 	itersLeft int
 
-	n           uint64 // dynamic instruction count
-	ring        [regRingSize]int16
-	chasePtr    map[int]int16 // region index -> register holding the chain pointer
+	n       uint64 // dynamic instruction count
+	nRegMod uint64 // n % (isa.NumLogicalRegs-2), kept incrementally
+	ring    [regRingSize]int16
+	// chaseUser/chaseKern track, per region index, the register holding
+	// the current chain pointer (isa.NoReg when no link exists yet).
+	chaseUser   []int16
+	chaseKern   []int16
 	lastLoadDst int16
+
+	// Integer draw thresholds precomputed from the model (see
+	// boolThreshold/geomThreshold): the per-instruction hot path
+	// compares raw 53-bit draws against these instead of doing float
+	// conversions. depOne/iterOne mark degenerate means (<= 1), where
+	// Geometric returns 1 without drawing.
+	depThresh       uint64
+	depOne          bool
+	iterThresh      uint64
+	iterOne         bool
+	kernelThresh    uint64
+	dataTakenThresh uint64
 
 	loads, stores, branches, kernel, fpops, mispredictable uint64
 }
@@ -74,7 +90,6 @@ func NewFromModel(m *Model, seed uint64) *Generator {
 	g := &Generator{
 		model:       m,
 		rng:         NewRand(seed ^ hashName(m.Name)),
-		chasePtr:    map[int]int16{},
 		lastLoadDst: isa.NoReg,
 	}
 	for i := range m.Regions {
@@ -86,6 +101,24 @@ func NewFromModel(m *Model, seed uint64) *Generator {
 		g.kernRegions = append(g.kernRegions, &r)
 	}
 	layout(g.userRegions, g.kernRegions)
+	g.chaseUser = make([]int16, len(g.userRegions))
+	g.chaseKern = make([]int16, len(g.kernRegions))
+	for i := range g.chaseUser {
+		g.chaseUser[i] = isa.NoReg
+	}
+	for i := range g.chaseKern {
+		g.chaseKern[i] = isa.NoReg
+	}
+	g.depOne = m.DepMean <= 1
+	if !g.depOne {
+		g.depThresh = geomThreshold(m.DepMean)
+	}
+	g.iterOne = m.MeanIterations <= 1
+	if !g.iterOne {
+		g.iterThresh = geomThreshold(m.MeanIterations)
+	}
+	g.kernelThresh = boolThreshold(m.kernelFrac())
+	g.dataTakenThresh = boolThreshold(m.DataBranchTakenProb)
 	g.userWeight = totalWeight(g.userRegions)
 	g.kernWeight = totalWeight(g.kernRegions)
 	for i := 0; i < templatesPerSpace; i++ {
@@ -238,26 +271,52 @@ func (g *Generator) pickALUOp() isa.Op {
 // nextTemplate selects the next inner loop to run, entering kernel mode
 // with the model's kernel fraction.
 func (g *Generator) nextTemplate() {
-	if len(g.kernT) > 0 && g.rng.Bool(g.model.kernelFrac()) {
+	if len(g.kernT) > 0 && g.rng.Uint64()>>11 < g.kernelThresh {
 		g.cur = &g.kernT[g.rng.Intn(len(g.kernT))]
 	} else {
 		g.cur = &g.userT[g.rng.Intn(len(g.userT))]
 	}
 	g.slotIdx = 0
-	g.itersLeft = g.rng.Geometric(g.model.MeanIterations)
+	iters := 1
+	if !g.iterOne {
+		for g.rng.Uint64()>>11 > g.iterThresh && iters < 1<<20 {
+			iters++
+		}
+	}
+	g.itersLeft = iters
 }
 
 // dstReg allocates the next destination register, rotating through the
-// logical space and recording it in the dependence ring.
+// logical space and recording it in the dependence ring. nRegMod is
+// n % (NumLogicalRegs-2) maintained incrementally, since the modulus is
+// not a power of two and this runs for most instructions.
 func (g *Generator) dstReg() int16 {
-	d := int16(2 + g.n%uint64(isa.NumLogicalRegs-2))
+	d := int16(2 + g.nRegMod)
 	g.ring[g.n%regRingSize] = d
 	return d
 }
 
 // srcReg picks a source register a geometric dependence distance back.
+// The geometric draw inlines Rand.Uint64 so the rng state stays in a
+// register across the loop (this is the hottest draw in the stream:
+// roughly DepMean draws per source operand); the draw sequence is
+// exactly Uint64()>>11 > depThresh repeated, as before.
 func (g *Generator) srcReg() int16 {
-	k := uint64(g.rng.Geometric(g.model.DepMean))
+	k := uint64(1)
+	if !g.depOne {
+		r := g.rng
+		s := r.s
+		for {
+			s ^= s >> 12
+			s ^= s << 25
+			s ^= s >> 27
+			if s*randMult>>11 <= g.depThresh || k >= 1<<20 {
+				break
+			}
+			k++
+		}
+		r.s = s
+	}
 	if k > g.n || k > regRingSize {
 		return isa.NoReg
 	}
@@ -279,7 +338,7 @@ func (g *Generator) Next() (isa.Inst, bool) {
 			g.nextTemplate()
 		}
 	}
-	s := g.cur.slots[g.slotIdx]
+	s := &g.cur.slots[g.slotIdx]
 	g.slotIdx++
 
 	inst := isa.Inst{PC: s.pc, Op: s.op, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Kernel: g.cur.kernel}
@@ -294,16 +353,16 @@ func (g *Generator) Next() (isa.Inst, bool) {
 		inst.Addr = rg.next(g.rng)
 		inst.Size = accessGranularity
 		if s.chase {
-			key := s.region
+			ptrs := g.chaseUser
 			if g.cur.kernel {
-				key = -1 - s.region
+				ptrs = g.chaseKern
 			}
-			if p, ok := g.chasePtr[key]; ok {
+			if p := ptrs[s.region]; p != isa.NoReg {
 				inst.Src1 = p
 			}
 			d := g.dstReg()
 			inst.Dst = d
-			g.chasePtr[key] = d
+			ptrs[s.region] = d
 		} else {
 			inst.Src1 = g.srcReg()
 			inst.Dst = g.dstReg()
@@ -323,7 +382,7 @@ func (g *Generator) Next() (isa.Inst, bool) {
 			inst.Src1 = g.srcReg()
 		} else if s.dataDep {
 			g.mispredictable++
-			inst.Taken = g.rng.Bool(g.model.DataBranchTakenProb)
+			inst.Taken = g.rng.Uint64()>>11 < g.dataTakenThresh
 			inst.Src1 = g.lastLoadDst
 		} else {
 			inst.Taken = true // static control, perfectly learnable
@@ -343,7 +402,103 @@ func (g *Generator) Next() (isa.Inst, bool) {
 		g.kernel++
 	}
 	g.n++
+	if g.nRegMod++; g.nRegMod == uint64(isa.NumLogicalRegs-2) {
+		g.nRegMod = 0
+	}
 	return inst, true
+}
+
+// Warm drains n instructions from the stream, recording every memory
+// reference address in addrs[:na] and every branch outcome in
+// branches[:nb], packed pc<<1|taken. Both buffers must hold at least n
+// entries. It advances the generator exactly as n calls of Next would —
+// every rng draw, dependence-ring, chase-pointer and counter update
+// happens identically, so interleaving Warm and Next is
+// indistinguishable from calling Next throughout — but it skips
+// assembling the isa.Inst records nobody reads during a functional
+// cache prewarm, and batching keeps the loop free of calls out.
+// TestWarmMatchesNext pins the equivalence.
+func (g *Generator) Warm(n int, addrs, branches []uint64) (na, nb int) {
+	for i := 0; i < n; i++ {
+		if g.cur == nil || g.slotIdx >= len(g.cur.slots) {
+			if g.cur != nil {
+				g.itersLeft--
+				if g.itersLeft > 0 {
+					g.slotIdx = 0
+				} else {
+					g.nextTemplate()
+				}
+			} else {
+				g.nextTemplate()
+			}
+		}
+		s := &g.cur.slots[g.slotIdx]
+		g.slotIdx++
+
+		regions := g.userRegions
+		if g.cur.kernel {
+			regions = g.kernRegions
+		}
+		switch s.op {
+		case isa.Load:
+			g.loads++
+			addrs[na] = regions[s.region].next(g.rng)
+			na++
+			if s.chase {
+				ptrs := g.chaseUser
+				if g.cur.kernel {
+					ptrs = g.chaseKern
+				}
+				d := g.dstReg()
+				ptrs[s.region] = d
+				g.lastLoadDst = d
+			} else {
+				g.srcReg()
+				g.lastLoadDst = g.dstReg()
+			}
+		case isa.Store:
+			g.stores++
+			addrs[na] = regions[s.region].next(g.rng)
+			na++
+			g.srcReg()
+			g.srcReg()
+		case isa.Branch:
+			g.branches++
+			var taken uint64
+			if s.loopBack {
+				if g.itersLeft > 1 {
+					taken = 1
+				}
+				g.srcReg()
+			} else if s.dataDep {
+				g.mispredictable++
+				if g.rng.Uint64()>>11 < g.dataTakenThresh {
+					taken = 1
+				}
+			} else {
+				taken = 1
+				g.srcReg()
+			}
+			branches[nb] = s.pc<<1 | taken
+			nb++
+		case isa.Jump:
+		default:
+			if s.op.IsFP() {
+				g.fpops++
+			}
+			g.srcReg()
+			g.srcReg()
+			g.dstReg()
+		}
+		if g.cur.kernel {
+			g.kernel++
+		}
+		g.n++
+		if g.nRegMod++; g.nRegMod == uint64(isa.NumLogicalRegs-2) {
+			g.nRegMod = 0
+		}
+	}
+	return na, nb
 }
 
 // Emitted returns the number of instructions generated so far.

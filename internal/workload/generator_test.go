@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"hbcache/internal/isa"
+)
+
+// drainNext pulls n instructions via Next, collecting memory addresses
+// and packed branch outcomes the way Warm reports them.
+func drainNext(g *Generator, n int) (addrs, branches []uint64) {
+	for i := 0; i < n; i++ {
+		inst, _ := g.Next()
+		switch inst.Op {
+		case isa.Load, isa.Store:
+			addrs = append(addrs, inst.Addr)
+		case isa.Branch:
+			t := uint64(0)
+			if inst.Taken {
+				t = 1
+			}
+			branches = append(branches, inst.PC<<1|t)
+		}
+	}
+	return addrs, branches
+}
+
+// TestWarmMatchesNext pins the contract Warm's doc comment states: a
+// Warm(n) call observes exactly the memory addresses and branch
+// outcomes that n Next calls would produce, and leaves the generator in
+// exactly the state those n Next calls would — so the subsequent stream
+// is identical instruction for instruction.
+func TestWarmMatchesNext(t *testing.T) {
+	const warmN = 20000
+	const tailN = 2000
+	for _, name := range BenchmarkNames() {
+		t.Run(name, func(t *testing.T) {
+			ref := MustNew(name, 7)
+			got := MustNew(name, 7)
+
+			wantAddrs, wantBranches := drainNext(ref, warmN)
+
+			addrs := make([]uint64, warmN)
+			branches := make([]uint64, warmN)
+			na, nb := got.Warm(warmN, addrs, branches)
+
+			if na != len(wantAddrs) || nb != len(wantBranches) {
+				t.Fatalf("Warm reported %d addrs, %d branches; Next produced %d, %d",
+					na, nb, len(wantAddrs), len(wantBranches))
+			}
+			for i := range wantAddrs {
+				if addrs[i] != wantAddrs[i] {
+					t.Fatalf("addr %d: Warm %#x, Next %#x", i, addrs[i], wantAddrs[i])
+				}
+			}
+			for i := range wantBranches {
+				if branches[i] != wantBranches[i] {
+					t.Fatalf("branch %d: Warm %#x, Next %#x", i, branches[i], wantBranches[i])
+				}
+			}
+			if ref.Emitted() != got.Emitted() {
+				t.Fatalf("emitted counts diverge: %d vs %d", got.Emitted(), ref.Emitted())
+			}
+
+			// The tail stream must be bit-identical: Warm left every rng
+			// draw, ring slot, chase pointer and counter where Next would.
+			for i := 0; i < tailN; i++ {
+				want, _ := ref.Next()
+				have, _ := got.Next()
+				if have != want {
+					t.Fatalf("post-warm inst %d diverges:\nwarm path: %+v\nnext path: %+v", i, have, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmInterleavesWithNext checks Warm in chunks, mixed with Next
+// calls, as sim.Run's chunked prewarm drain does.
+func TestWarmInterleavesWithNext(t *testing.T) {
+	ref := MustNew("gcc", 3)
+	got := MustNew("gcc", 3)
+
+	addrs := make([]uint64, 4096)
+	branches := make([]uint64, 4096)
+	for _, chunk := range []int{1, 63, 4096, 500, 2} {
+		drainNext(ref, chunk)
+		got.Warm(chunk, addrs, branches)
+		for i := 0; i < 100; i++ {
+			want, _ := ref.Next()
+			have, _ := got.Next()
+			if have != want {
+				t.Fatalf("after chunk %d, inst %d diverges: %+v vs %+v", chunk, i, have, want)
+			}
+		}
+	}
+}

@@ -20,6 +20,8 @@
 //     codes streaming behaviour with sharp cliffs).
 package workload
 
+import "math"
+
 // Rand is a small deterministic xorshift64* generator. The simulator
 // must be reproducible run to run, so all randomness flows from
 // explicitly seeded instances of this type (never math/rand's global
@@ -37,17 +39,23 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{s: seed}
 }
 
+// randMult is the xorshift64* output multiplier, shared with hot loops
+// that inline the generator to keep its state in a register.
+const randMult = 0x2545F4914F6CDD1D
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	r.s ^= r.s >> 12
 	r.s ^= r.s << 25
 	r.s ^= r.s >> 27
-	return r.s * 0x2545F4914F6CDD1D
+	return r.s * randMult
 }
 
-// Float64 returns a uniform value in [0, 1).
+// Float64 returns a uniform value in [0, 1). Multiplying by the exact
+// constant 2^-53 scales the 53-bit integer without rounding, so this is
+// bit-identical to dividing by 2^53.
 func (r *Rand) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Intn returns a uniform value in [0, n). n must be positive.
@@ -55,7 +63,36 @@ func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("workload: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	u := r.Uint64()
+	if n&(n-1) == 0 {
+		return int(u & uint64(n-1))
+	}
+	return int(u % uint64(n))
+}
+
+// boolThreshold converts a probability to the integer threshold t such
+// that Float64() < p is exactly u>>11 < t for the same 64-bit draw u:
+// the 53-bit value u>>11 is below p*2^53 iff it is below ceil(p*2^53)
+// (both are exact — the product is a power-of-two scaling). Hot paths
+// precompute this once and compare integers instead of doing the
+// int->float conversion and float compare per draw.
+func boolThreshold(p float64) uint64 {
+	t := math.Ceil(p * (1 << 53))
+	if !(t > 0) { // also false for NaN
+		return 0
+	}
+	if t >= (1 << 53) {
+		return 1 << 53
+	}
+	return uint64(t)
+}
+
+// geomThreshold converts a geometric mean to the integer threshold t
+// such that Float64() > 1/mean is exactly u>>11 > t: the 53-bit value
+// is above p*2^53 iff it is above floor(p*2^53). Meaningful only for
+// mean > 1 (Geometric returns 1 without drawing otherwise).
+func geomThreshold(mean float64) uint64 {
+	return uint64(math.Floor((1 / mean) * (1 << 53)))
 }
 
 // Geometric returns a sample from a geometric distribution with the
@@ -65,13 +102,13 @@ func (r *Rand) Geometric(mean float64) int {
 	if mean <= 1 {
 		return 1
 	}
-	p := 1 / mean
+	th := geomThreshold(mean)
 	n := 1
-	for r.Float64() > p && n < 1<<20 {
+	for r.Uint64()>>11 > th && n < 1<<20 {
 		n++
 	}
 	return n
 }
 
 // Bool returns true with probability p.
-func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+func (r *Rand) Bool(p float64) bool { return r.Uint64()>>11 < boolThreshold(p) }

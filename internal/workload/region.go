@@ -64,6 +64,59 @@ type Region struct {
 
 	base   uint64
 	cursor uint64
+
+	// Derived values cached on first use (see prepare): integer draw
+	// thresholds and power-of-two masks so the address hot path does no
+	// float math and no division.
+	prepared     bool
+	strideVal    uint64 // Stride with the default applied
+	coldThresh   uint64 // boolThreshold(ColdFrac default)
+	hotVal       uint64 // HotBytes with defaults/clamps applied
+	spanMin      uint64 // hotVal >> (hotLevels-1), clamped
+	slotsAccess  uint64 // Bytes / accessGranularity
+	slotsMask    uint64 // slotsAccess-1 when a power of two, else 0
+	scatterSlots uint64 // Bytes / hotChunkBytes
+	scatterMask  uint64 // scatterSlots-1 when a power of two, else 0
+	bytesMask    uint64 // Bytes-1 when a power of two, else 0
+}
+
+// prepare caches the derived constants next() needs, exactly as the
+// per-call code used to compute them.
+func (rg *Region) prepare() {
+	rg.prepared = true
+	rg.strideVal = rg.Stride
+	if rg.strideVal == 0 {
+		rg.strideVal = accessGranularity
+	}
+	cold := rg.ColdFrac
+	if cold == 0 {
+		cold = 0.1
+	}
+	rg.coldThresh = boolThreshold(cold)
+	hot := rg.HotBytes
+	if hot == 0 {
+		hot = rg.Bytes / 16
+	}
+	if hot < accessGranularity {
+		hot = accessGranularity
+	}
+	rg.hotVal = hot
+	span := hot >> (hotLevels - 1)
+	if span < accessGranularity {
+		span = accessGranularity
+	}
+	rg.spanMin = span
+	rg.slotsAccess = rg.Bytes / accessGranularity
+	if rg.slotsAccess > 0 && rg.slotsAccess&(rg.slotsAccess-1) == 0 {
+		rg.slotsMask = rg.slotsAccess - 1
+	}
+	rg.scatterSlots = rg.Bytes / hotChunkBytes
+	if rg.scatterSlots > 0 && rg.scatterSlots&(rg.scatterSlots-1) == 0 {
+		rg.scatterMask = rg.scatterSlots - 1
+	}
+	if rg.Bytes > 0 && rg.Bytes&(rg.Bytes-1) == 0 {
+		rg.bytesMask = rg.Bytes - 1
+	}
 }
 
 // hotChunkBytes is the spatial granularity of the hot set. Hot data is
@@ -79,7 +132,7 @@ const hotChunkBytes = 128
 // scatterChunk maps a hot-set chunk index to a stable pseudo-random
 // chunk slot within the region, keyed by the region's base address.
 func (rg *Region) scatterChunk(chunk uint64) uint64 {
-	slots := rg.Bytes / hotChunkBytes
+	slots := rg.scatterSlots
 	if slots <= 1 {
 		return 0
 	}
@@ -87,6 +140,9 @@ func (rg *Region) scatterChunk(chunk uint64) uint64 {
 	x ^= x >> 29
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 32
+	if rg.scatterMask != 0 {
+		return x & rg.scatterMask
+	}
 	return x % slots
 }
 
@@ -102,16 +158,29 @@ const accessGranularity = 8
 // small-cache miss rates.
 const hotLevels = 6
 
+// halfThresh is boolThreshold(0.5): 0.5 * 2^53 exactly.
+const halfThresh = 1 << 52
+
+// uniformSlot draws a uniform access-granule offset, equivalent to
+// Intn(Bytes/accessGranularity) but using the precomputed mask when the
+// slot count is a power of two (the same fast path Intn takes).
+func (rg *Region) uniformSlot(r *Rand) uint64 {
+	u := r.Uint64()
+	if rg.slotsMask != 0 {
+		return u & rg.slotsMask
+	}
+	return u % rg.slotsAccess
+}
+
 // next draws the next address in the region.
 func (rg *Region) next(r *Rand) uint64 {
+	if !rg.prepared {
+		rg.prepare()
+	}
 	switch rg.Pattern {
 	case Stream:
-		stride := rg.Stride
-		if stride == 0 {
-			stride = accessGranularity
-		}
 		a := rg.base + rg.cursor
-		rg.cursor += stride
+		rg.cursor += rg.strideVal
 		if rg.cursor >= rg.Bytes {
 			rg.cursor = 0
 		}
@@ -124,27 +193,28 @@ func (rg *Region) next(r *Rand) uint64 {
 		// the front, so small caches capture most of it. Chase shares
 		// the distribution (linked structures have hot spines) but is
 		// additionally serialized by the generator's dependences.
-		cold := rg.ColdFrac
-		if cold == 0 {
-			cold = 0.1
+		// The draws inline Rand.Uint64 (state held in a register across
+		// the span loop); the draw sequence is unchanged.
+		s := r.s
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		if s*randMult>>11 < rg.coldThresh {
+			r.s = s
+			return rg.base + rg.uniformSlot(r)*accessGranularity
 		}
-		if r.Bool(cold) {
-			return rg.base + uint64(r.Intn(int(rg.Bytes/accessGranularity)))*accessGranularity
-		}
-		hot := rg.HotBytes
-		if hot == 0 {
-			hot = rg.Bytes / 16
-		}
-		if hot < accessGranularity {
-			hot = accessGranularity
-		}
-		span := hot >> (hotLevels - 1)
-		if span < accessGranularity {
-			span = accessGranularity
-		}
-		for span < hot && r.Bool(0.5) {
+		hot := rg.hotVal
+		span := rg.spanMin
+		for span < hot {
+			s ^= s >> 12
+			s ^= s << 25
+			s ^= s >> 27
+			if s*randMult>>11 >= halfThresh {
+				break
+			}
 			span <<= 1
 		}
+		r.s = s
 		if span > hot {
 			span = hot
 		}
@@ -152,9 +222,14 @@ func (rg *Region) next(r *Rand) uint64 {
 		// Scatter the hot set across the region at chunk granularity so
 		// hot bytes are spread over many cache lines, as real heaps are.
 		pos := rg.scatterChunk(off/hotChunkBytes)*hotChunkBytes + off%hotChunkBytes
-		return rg.base + pos%rg.Bytes
+		if rg.bytesMask != 0 {
+			pos &= rg.bytesMask
+		} else {
+			pos %= rg.Bytes
+		}
+		return rg.base + pos
 	case Uniform:
-		return rg.base + uint64(r.Intn(int(rg.Bytes/accessGranularity)))*accessGranularity
+		return rg.base + rg.uniformSlot(r)*accessGranularity
 	default:
 		return rg.base
 	}
