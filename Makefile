@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build bin test race vet fmt verify bench serve
+.PHONY: build bin test race vet fmt verify bench serve chaos
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,15 @@ test:
 # concurrency-sensitive packages; run them under the race detector in
 # addition to the plain suite.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim ./internal/service ./cmd/hbserved
+	$(GO) test -race ./internal/fault ./internal/runner ./internal/sim ./internal/service ./cmd/hbserved
+
+# Fault-injection suite under the race detector: every fault kind fired
+# into the runner and service, asserting bounded recovery (workers
+# freed, breaker cycles, partial results well-formed, caches
+# quarantined). -count=1 defeats the test cache so the chaos runs are
+# always live.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|CrashSafety' ./internal/runner ./internal/service
 
 # Run the simulation service locally with sensible dev defaults.
 serve:

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"hbcache/internal/fault"
 	"hbcache/internal/runner"
 	"hbcache/internal/service"
 )
@@ -54,7 +55,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		retryAfter = fs.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
 		maxInsts   = fs.Uint64("max-insts", 0, "reject configs whose total instruction budget exceeds this (0 = no limit)")
 		drain      = fs.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for accepted jobs to finish")
+		maxCyc     = fs.Uint64("max-cycles", 0, "simulated-cycle budget per job (0 = unlimited); a job over budget fails")
+		breakThr   = fs.Int("breaker-threshold", 0, "consecutive job failures that open the circuit breaker (0 = default 5, negative = disabled)")
+		breakCool  = fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before admitting a probe (0 = default 15s)")
+		sseTimeout = fs.Duration("sse-write-timeout", 0, "per-write deadline before a stalled SSE subscriber is dropped (0 = default 30s)")
+		faultSeed  = fs.Uint64("fault-seed", 1, "seed for the fault-injection registry (with -fault)")
 	)
+	var faultRules []fault.Rule
+	fs.Func("fault", "inject a fault, repeatable: site:kind[:delay][:p=F][:skip=N][:limit=N] (e.g. sim.run:hang:limit=1)", func(v string) error {
+		rule, err := fault.ParseRule(v)
+		if err != nil {
+			return err
+		}
+		faultRules = append(faultRules, rule)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,16 +80,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	r, err := runner.New(runner.Options{Workers: *workers, CacheDir: *cacheDir})
+	// One registry feeds both layers: chaos drills on a live server
+	// exercise the same sites the test suite does.
+	var faults *fault.Registry
+	if len(faultRules) > 0 {
+		faults = fault.New(*faultSeed)
+		for _, rule := range faultRules {
+			faults.Add(rule)
+		}
+		fmt.Fprintf(stderr, "hbserved: fault injection armed: %d rule(s), seed %d\n", len(faultRules), *faultSeed)
+	}
+
+	r, err := runner.New(runner.Options{
+		Workers:      *workers,
+		CacheDir:     *cacheDir,
+		SimTimeout:   *jobTimeout,
+		SimMaxCycles: *maxCyc,
+		Faults:       faults,
+	})
 	if err != nil {
 		return err
 	}
 	svc := service.New(r, service.Options{
-		QueueSize:     *queueSize,
-		Concurrency:   *workers,
-		JobTimeout:    *jobTimeout,
-		RetryAfter:    *retryAfter,
-		MaxTotalInsts: *maxInsts,
+		QueueSize:        *queueSize,
+		Concurrency:      *workers,
+		JobTimeout:       *jobTimeout,
+		RetryAfter:       *retryAfter,
+		MaxTotalInsts:    *maxInsts,
+		BreakerThreshold: *breakThr,
+		BreakerCooldown:  *breakCool,
+		SSEWriteTimeout:  *sseTimeout,
+		Faults:           faults,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		measure = flag.Uint64("insts", sim.DefaultMeasure, "instructions to measure")
 		prewarm = flag.String("prewarm-mode", "", "prewarm mode: fast-forward (default), stream, timing")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); exceeding it is an error")
+		maxCyc  = flag.Uint64("max-cycles", 0, "simulated-cycle budget for the run (0 = unlimited); exceeding it is an error")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -102,7 +105,10 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(cfg)
+	res, err := sim.RunContext(context.Background(), cfg, sim.RunOpts{
+		Timeout:   *timeout,
+		MaxCycles: *maxCyc,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"hbcache/internal/cpu"
 	"hbcache/internal/mem"
@@ -51,9 +52,11 @@ type sweepSpec struct {
 	insts       uint64
 	prewarmMode sim.PrewarmMode
 
-	workers  int
-	cacheDir string
-	progress bool
+	workers   int
+	cacheDir  string
+	progress  bool
+	timeout   time.Duration
+	maxCycles uint64
 }
 
 func main() {
@@ -72,6 +75,8 @@ func main() {
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
 		progress = flag.Bool("progress", false, "report progress on stderr while the sweep runs")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per point (0 = unlimited); a point over budget fails the sweep")
+		maxCyc   = flag.Uint64("max-cycles", 0, "simulated-cycle budget per point (0 = unlimited)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -112,6 +117,8 @@ func main() {
 		workers:     *workers,
 		cacheDir:    *cacheDir,
 		progress:    *progress,
+		timeout:     *timeout,
+		maxCycles:   *maxCyc,
 	}
 	var err error
 	if spec.benches, err = parseBenches(*benches); err != nil {
@@ -171,7 +178,12 @@ func (s sweepSpec) configs() []sim.Config {
 // count or completion order. The returned metrics report how the work
 // was satisfied (simulated, cache hits, dedup).
 func runSweep(ctx context.Context, out, errw io.Writer, spec sweepSpec) (runner.Metrics, error) {
-	opts := runner.Options{Workers: spec.workers, CacheDir: spec.cacheDir}
+	opts := runner.Options{
+		Workers:      spec.workers,
+		CacheDir:     spec.cacheDir,
+		SimTimeout:   spec.timeout,
+		SimMaxCycles: spec.maxCycles,
+	}
 	if spec.progress {
 		opts.OnProgress = func(m runner.Metrics) {
 			fmt.Fprintf(errw, "\r%d/%d sims, %d cache hits, %.1f sims/s ", m.Done, m.Submitted, m.CacheHits, m.Rate())

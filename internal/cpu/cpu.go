@@ -16,6 +16,7 @@ package cpu
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"hbcache/internal/isa"
 	"hbcache/internal/mem"
@@ -268,7 +269,21 @@ type CPU struct {
 	// retireStalledStore is set when the head store could not enter the
 	// L1 store buffer this cycle.
 	retireStalledStore bool
+
+	// Budget state (SetBudget). stop is polled by Run/RunCycles every
+	// budgetCheckInterval cycles — never inside Step, so the hot loop
+	// stays branch-light and allocation-free. maxCycles caps c.now,
+	// which is monotonic across ResetStats, so the cap bounds total
+	// simulated work including warmup.
+	stop      *atomic.Bool
+	maxCycles uint64
+	stopped   bool
 }
+
+// budgetCheckInterval is how many cycles pass between budget polls in
+// Run/RunCycles. At ~10M simulated cycles/s of host throughput this
+// bounds overrun after a cancellation to well under a millisecond.
+const budgetCheckInterval = 1024
 
 // New builds a core. reader and dmem must be non-nil.
 func New(cfg Config, reader isa.Reader, dmem DataMemory) (*CPU, error) {
@@ -406,13 +421,17 @@ func (c *CPU) producerReady(seq uint64) bool {
 	return seq == 0 || seq < c.headSeq || c.state[c.idx(seq)] == stDone
 }
 
-// Run advances the core until maxInsts instructions have retired or the
-// trace ends, returning the cumulative stats. A maxInsts of zero runs to
-// trace end (which never happens with the unbounded generators).
+// Run advances the core until maxInsts instructions have retired, the
+// trace ends, or the budget installed by SetBudget runs out, returning
+// the cumulative stats. A maxInsts of zero runs to trace end (which
+// never happens with the unbounded generators).
 func (c *CPU) Run(maxInsts uint64) Stats {
 	target := c.stats.Retired + maxInsts
 	for !c.Done() {
 		if maxInsts > 0 && c.stats.Retired >= target {
+			break
+		}
+		if uint64(c.now)&(budgetCheckInterval-1) == 0 && c.budgetExhausted() {
 			break
 		}
 		c.Step()
@@ -420,12 +439,43 @@ func (c *CPU) Run(maxInsts uint64) Stats {
 	return c.stats
 }
 
-// RunCycles advances the core by n cycles (or until trace end).
+// RunCycles advances the core by n cycles (or until trace end or budget
+// exhaustion).
 func (c *CPU) RunCycles(n uint64) Stats {
 	for i := uint64(0); i < n && !c.Done(); i++ {
+		if uint64(c.now)&(budgetCheckInterval-1) == 0 && c.budgetExhausted() {
+			break
+		}
 		c.Step()
 	}
 	return c.stats
+}
+
+// SetBudget installs a cooperative abort flag and a hard cycle cap,
+// both polled every budgetCheckInterval cycles by Run and RunCycles.
+// stop may be nil (no flag); maxCycles of zero means uncapped. The cap
+// is measured against the core's monotonic cycle clock, so it survives
+// ResetStats and bounds total work across warmup and measurement.
+func (c *CPU) SetBudget(stop *atomic.Bool, maxCycles uint64) {
+	c.stop = stop
+	c.maxCycles = maxCycles
+}
+
+// Stopped reports whether a Run or RunCycles call returned early
+// because the abort flag was raised or the cycle cap was reached.
+func (c *CPU) Stopped() bool { return c.stopped }
+
+// budgetExhausted polls the budget, latching Stopped on exhaustion.
+func (c *CPU) budgetExhausted() bool {
+	if c.maxCycles > 0 && uint64(c.now) >= c.maxCycles {
+		c.stopped = true
+		return true
+	}
+	if c.stop != nil && c.stop.Load() {
+		c.stopped = true
+		return true
+	}
+	return false
 }
 
 // ResetStats zeroes the cumulative counters (for post-warmup windows)

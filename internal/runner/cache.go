@@ -1,13 +1,16 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
+	"hbcache/internal/fault"
 	"hbcache/internal/sim"
 )
 
@@ -56,14 +59,37 @@ func Key(cfg sim.Config) (string, error) {
 // directories small on big sweeps.
 type Cache struct {
 	dir string
+	// faults, when non-nil, injects read/write errors and corrupted
+	// bytes at the cache's fault sites for chaos testing.
+	faults *fault.Registry
+	// corrupt counts entries quarantined because they failed the
+	// key or checksum verification in Get.
+	corrupt atomic.Int64
 }
 
 // cacheEntry is the on-disk record. The config rides along purely for
-// debuggability — `cat` a cache file and see what produced it.
+// debuggability — `cat` a cache file and see what produced it. Sum is
+// the hex SHA-256 of the entry's JSON encoding with Sum itself blank,
+// so torn writes and bit rot are detected instead of silently served.
 type cacheEntry struct {
 	Key    string
 	Config sim.Config
 	Result sim.Result
+	Sum    string
+}
+
+// sum returns the entry's checksum: the hex SHA-256 of its compact JSON
+// encoding with the Sum field cleared.
+func (e cacheEntry) sum() string {
+	e.Sum = ""
+	b, err := json.Marshal(e)
+	if err != nil {
+		// sim types marshal without error by construction; a failure here
+		// yields a value no stored Sum matches, so the entry quarantines.
+		return "unmarshalable"
+	}
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
 }
 
 // NewCache opens (creating if needed) a cache rooted at dir.
@@ -78,16 +104,45 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".json")
 }
 
-// Get returns the cached result for key, if present and intact. Any
-// unreadable or corrupt entry is treated as a miss — the simulation
-// simply re-runs and overwrites it.
+// CorruptEntries reports how many corrupt entries this cache has
+// quarantined since it was opened.
+func (c *Cache) CorruptEntries() int64 { return c.corrupt.Load() }
+
+// quarantine renames a corrupt entry to <name>.corrupt — out of Get's
+// path and Len's count, preserved for postmortem — and counts it. The
+// next Get is a clean miss, so the result is recomputed exactly once
+// rather than re-parsed (and re-failed) every run. If the rename fails
+// the file is removed outright; a corrupt entry must never survive
+// where Get will find it again.
+func (c *Cache) quarantine(p string) {
+	c.corrupt.Add(1)
+	if err := os.Rename(p, p+".corrupt"); err != nil {
+		os.Remove(p)
+	}
+}
+
+// Get returns the cached result for key, if present and intact. A
+// missing file is a plain miss. A file that exists but fails to parse,
+// carries the wrong key, or fails its checksum is quarantined (renamed
+// *.corrupt, counted in CorruptEntries) and reported as a miss, so the
+// simulation re-runs once and the bad bytes are kept for inspection.
+// Entries from before checksums existed carry no Sum and quarantine the
+// same way — re-deriving them is deterministic and cheap compared to
+// trusting unverifiable bytes.
 func (c *Cache) Get(key string) (sim.Result, bool) {
-	b, err := os.ReadFile(c.path(key))
+	// Cache sites have no caller context (hangs are unsupported here —
+	// see fault.SiteCacheRead); injected errors behave as I/O misses.
+	if err := c.faults.Fire(context.Background(), fault.SiteCacheRead); err != nil {
+		return sim.Result{}, false
+	}
+	p := c.path(key)
+	b, err := os.ReadFile(p)
 	if err != nil {
 		return sim.Result{}, false
 	}
 	var e cacheEntry
-	if err := json.Unmarshal(b, &e); err != nil || e.Key != key {
+	if err := json.Unmarshal(b, &e); err != nil || e.Key != key || e.Sum != e.sum() {
+		c.quarantine(p)
 		return sim.Result{}, false
 	}
 	return e.Result, true
@@ -97,14 +152,23 @@ func (c *Cache) Get(key string) (sim.Result, bool) {
 // the same directory and renamed into place, so a killed process never
 // leaves a half-written entry where Get will find it.
 func (c *Cache) Put(key string, cfg sim.Config, res sim.Result) error {
+	if err := c.faults.Fire(context.Background(), fault.SiteCacheWrite); err != nil {
+		return err
+	}
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
 	}
-	b, err := json.MarshalIndent(cacheEntry{Key: key, Config: cfg, Result: res}, "", "  ")
+	e := cacheEntry{Key: key, Config: cfg, Result: res}
+	e.Sum = e.sum()
+	b, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {
 		return err
 	}
+	// Chaos corruption happens after the checksum is computed, so the
+	// file lands on disk genuinely self-inconsistent — exactly what a
+	// torn write or bit rot produces.
+	c.faults.Mangle(fault.SiteCacheBytes, b)
 	tmp, err := os.CreateTemp(filepath.Dir(p), key+".tmp-*")
 	if err != nil {
 		return err
@@ -122,6 +186,7 @@ func (c *Cache) Put(key string, cfg sim.Config, res sim.Result) error {
 }
 
 // Len counts the entries currently stored, for tests and tooling.
+// Quarantined *.corrupt files are not entries and are not counted.
 func (c *Cache) Len() (int, error) {
 	n := 0
 	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {

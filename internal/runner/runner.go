@@ -21,12 +21,15 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"hbcache/internal/fault"
 	"hbcache/internal/sim"
 )
 
@@ -43,14 +46,49 @@ type Options struct {
 	// its error is surfaced. Simulations are deterministic, so the
 	// zero default is right unless the sim function is stubbed.
 	Retries int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it (±50% jitter, capped at 5s), so a
+	// systemic failure — disk full, runaway load — is not hammered.
+	// Zero selects 100ms; negative disables backoff (tests).
+	RetryBackoff time.Duration
+	// SimTimeout caps each simulation attempt's wall time (sim.RunOpts
+	// .Timeout). Zero means uncapped.
+	SimTimeout time.Duration
+	// SimMaxCycles caps each simulation attempt's simulated cycles
+	// (sim.RunOpts.MaxCycles). Zero means uncapped.
+	SimMaxCycles uint64
+	// Faults, when non-nil, is the chaos registry threaded through the
+	// simulator and the disk cache's fault sites.
+	Faults *fault.Registry
 	// OnProgress, when non-nil, is called with a metrics snapshot after
 	// every completed job. Calls are serialized (never concurrent with
 	// each other), so the callback may write to a terminal unguarded.
 	OnProgress func(Metrics)
 	// Sim, when non-nil, replaces the real simulator. Embedders (the
 	// service's tests, benchmark harnesses) substitute instrumented or
-	// stubbed functions; nil selects sim.Run.
-	Sim func(sim.Config) (sim.Result, error)
+	// stubbed functions; nil selects sim.RunContext with this Options'
+	// budget and faults. The function must honor ctx: the runner relies
+	// on cancellation actually stopping work.
+	Sim func(ctx context.Context, cfg sim.Config) (sim.Result, error)
+}
+
+// Retryable reports whether re-running a failed job could help.
+// Cancellation, simulation budgets, and invalid configs are fatal: the
+// identical deterministic failure would recur (or the caller has moved
+// on). Everything else — panics, injected faults, I/O errors — gets its
+// bounded retries.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, sim.ErrAborted),
+		errors.Is(err, sim.ErrBudget),
+		errors.Is(err, sim.ErrInvalidConfig):
+		return false
+	}
+	return true
 }
 
 // Metrics is a point-in-time snapshot of a Runner's counters. The JSON
@@ -66,6 +104,10 @@ type Metrics struct {
 	Retries   int           `json:"retries"`     // extra attempts consumed by failing jobs
 	SimWall   time.Duration `json:"sim_wall_ns"` // cumulative wall time inside the simulator
 	Elapsed   time.Duration `json:"elapsed_ns"`  // wall time since the runner was created
+
+	// CorruptEntries is how many on-disk cache entries failed their
+	// integrity check and were quarantined (renamed *.corrupt).
+	CorruptEntries int `json:"corrupt_entries"`
 }
 
 // Rate is completed jobs per second of runner lifetime (cache and memo
@@ -92,11 +134,12 @@ type JobResult struct {
 type Runner struct {
 	workers    int
 	retries    int
+	backoff    time.Duration
 	onProgress func(Metrics)
 	cache      *Cache
 
 	// sim runs one simulation; tests substitute instrumented stubs.
-	sim func(sim.Config) (sim.Result, error)
+	sim func(ctx context.Context, cfg sim.Config) (sim.Result, error)
 
 	start time.Time
 
@@ -129,11 +172,26 @@ func New(opts Options) (*Runner, error) {
 	}
 	simFn := opts.Sim
 	if simFn == nil {
-		simFn = sim.Run
+		runOpts := sim.RunOpts{
+			MaxCycles: opts.SimMaxCycles,
+			Timeout:   opts.SimTimeout,
+			Faults:    opts.Faults,
+		}
+		simFn = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+			return sim.RunContext(ctx, cfg, runOpts)
+		}
+	}
+	backoff := opts.RetryBackoff
+	switch {
+	case backoff == 0:
+		backoff = 100 * time.Millisecond
+	case backoff < 0:
+		backoff = 0
 	}
 	r := &Runner{
 		workers:    workers,
 		retries:    opts.Retries,
+		backoff:    backoff,
 		onProgress: opts.OnProgress,
 		sim:        simFn,
 		start:      time.Now(),
@@ -145,6 +203,7 @@ func New(opts Options) (*Runner, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.faults = opts.Faults
 		r.cache = c
 	}
 	return r, nil
@@ -182,6 +241,9 @@ func (r *Runner) Metrics() Metrics {
 func (r *Runner) snapshotLocked() Metrics {
 	m := r.metrics
 	m.Elapsed = time.Since(r.start)
+	if r.cache != nil {
+		m.CorruptEntries = int(r.cache.CorruptEntries())
+	}
 	return m
 }
 
@@ -315,13 +377,18 @@ func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
 			return settle()
 		}
 		jr.Attempts = attempt + 1
-		res, err = r.simulate(cfg)
-		if err == nil || attempt >= r.retries {
+		res, err = r.simulate(ctx, cfg)
+		if err == nil || attempt >= r.retries || !Retryable(err) {
 			break
 		}
 		r.mu.Lock()
 		r.metrics.Retries++
 		r.mu.Unlock()
+		if !r.sleepBackoff(ctx, attempt) {
+			entry.err = ctx.Err()
+			jr.Err = entry.err
+			return settle()
+		}
 	}
 	if err != nil {
 		entry.err = fmt.Errorf("runner: %s: %w", cfg.Benchmark, err)
@@ -340,15 +407,37 @@ func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
 	return settle()
 }
 
+// sleepBackoff waits out the exponential-backoff delay before retry
+// attempt+1: base<<attempt with ±50% jitter, capped at 5s. It reports
+// false if ctx was cancelled while waiting.
+func (r *Runner) sleepBackoff(ctx context.Context, attempt int) bool {
+	if r.backoff <= 0 {
+		return true
+	}
+	d := r.backoff << attempt
+	if d <= 0 || d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	d = d/2 + rand.N(d) // uniform in [d/2, 3d/2)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // simulate runs one simulation, converting a panic into an error so a
 // bad design point cannot take down a thousand-point sweep.
-func (r *Runner) simulate(cfg sim.Config) (res sim.Result, err error) {
+func (r *Runner) simulate(ctx context.Context, cfg sim.Config) (res sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("simulation panicked: %v\n%s", p, debug.Stack())
 		}
 	}()
-	return r.sim(cfg)
+	return r.sim(ctx, cfg)
 }
 
 // finish folds one completed job into the metrics and fires the

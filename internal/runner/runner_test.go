@@ -37,12 +37,15 @@ func stubConfigs(n int) []sim.Config {
 
 // stubSim returns a result derived only from the config, so any
 // execution order must produce the same output.
-func stubSim(cfg sim.Config) (sim.Result, error) {
+func stubSim(_ context.Context, cfg sim.Config) (sim.Result, error) {
 	return sim.Result{Benchmark: cfg.Benchmark, Cycles: cfg.Seed * 10, IPC: float64(cfg.Seed)}, nil
 }
 
 func newTest(t *testing.T, opts Options) *Runner {
 	t.Helper()
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = -1 // keep retry tests fast
+	}
 	r, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -58,9 +61,9 @@ func TestRunOrderedAcrossWorkerCounts(t *testing.T) {
 		r := newTest(t, Options{Workers: workers})
 		// Jitter completion order so ordering bugs cannot hide behind a
 		// fast deterministic stub.
-		r.sim = func(cfg sim.Config) (sim.Result, error) {
+		r.sim = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 			time.Sleep(time.Duration(cfg.Seed%5) * time.Millisecond)
-			return stubSim(cfg)
+			return stubSim(ctx, cfg)
 		}
 		got, err := r.Run(context.Background(), cfgs)
 		if err != nil {
@@ -129,10 +132,10 @@ func TestRealSimParallelMatchesSerial(t *testing.T) {
 func TestMemoDedupWithinBatch(t *testing.T) {
 	var calls atomic.Int64
 	r := newTest(t, Options{Workers: 4})
-	r.sim = func(cfg sim.Config) (sim.Result, error) {
+	r.sim = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
 		time.Sleep(2 * time.Millisecond)
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}
 	cfgs := make([]sim.Config, 12)
 	for i := range cfgs {
@@ -162,9 +165,9 @@ func TestMemoDedupWithinBatch(t *testing.T) {
 func TestMemoDedupAcrossBatches(t *testing.T) {
 	var calls atomic.Int64
 	r := newTest(t, Options{Workers: 2})
-	r.sim = func(cfg sim.Config) (sim.Result, error) {
+	r.sim = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}
 	cfgs := stubConfigs(4)
 	if _, err := r.Run(context.Background(), cfgs); err != nil {
@@ -181,9 +184,9 @@ func TestMemoDedupAcrossBatches(t *testing.T) {
 func TestDiskCacheAcrossRunners(t *testing.T) {
 	dir := t.TempDir()
 	var calls atomic.Int64
-	count := func(cfg sim.Config) (sim.Result, error) {
+	count := func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		calls.Add(1)
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}
 	cfgs := stubConfigs(5)
 
@@ -222,11 +225,11 @@ func TestDiskCacheAcrossRunners(t *testing.T) {
 
 func TestPanicRecovered(t *testing.T) {
 	r := newTest(t, Options{Workers: 2})
-	r.sim = func(cfg sim.Config) (sim.Result, error) {
+	r.sim = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		if cfg.Seed == 2 {
 			panic("bad design point")
 		}
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}
 	rs, err := r.Run(context.Background(), stubConfigs(4))
 	if err != nil {
@@ -252,14 +255,14 @@ func TestBoundedRetry(t *testing.T) {
 	var mu sync.Mutex
 	failuresLeft := map[uint64]int{1: 2, 2: 5}
 	r := newTest(t, Options{Workers: 1, Retries: 2})
-	r.sim = func(cfg sim.Config) (sim.Result, error) {
+	r.sim = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if failuresLeft[cfg.Seed] > 0 {
 			failuresLeft[cfg.Seed]--
 			return sim.Result{}, fmt.Errorf("transient %d", cfg.Seed)
 		}
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}
 	rs, err := r.Run(context.Background(), stubConfigs(2))
 	if err != nil {
@@ -279,11 +282,11 @@ func TestBoundedRetry(t *testing.T) {
 func TestCancellationDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	r := newTest(t, Options{Workers: 1})
-	r.sim = func(cfg sim.Config) (sim.Result, error) {
+	r.sim = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		if cfg.Seed == 1 {
 			cancel() // cancel while the first job is in flight
 		}
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}
 	rs, err := r.Run(ctx, stubConfigs(3))
 	if !errors.Is(err, context.Canceled) {
@@ -434,9 +437,9 @@ func TestAddListener(t *testing.T) {
 // cache/memo provenance the way Run's batch results do.
 func TestRunJobProvenance(t *testing.T) {
 	var sims atomic.Int64
-	r, err := New(Options{Workers: 2, CacheDir: t.TempDir(), Sim: func(cfg sim.Config) (sim.Result, error) {
+	r, err := New(Options{Workers: 2, CacheDir: t.TempDir(), Sim: func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		sims.Add(1)
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -454,9 +457,9 @@ func TestRunJobProvenance(t *testing.T) {
 	}
 
 	// A new runner over the same cache dir: the disk answers.
-	r2, err := New(Options{Workers: 2, CacheDir: r.cache.dir, Sim: func(cfg sim.Config) (sim.Result, error) {
+	r2, err := New(Options{Workers: 2, CacheDir: r.cache.dir, Sim: func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		t.Error("disk-cached job re-simulated")
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}})
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"hbcache/internal/fault"
 	"hbcache/internal/sim"
 )
 
@@ -40,6 +41,7 @@ type errorResponse struct {
 //	GET  /v1/jobs/{id}/events                     SSE progress stream
 //	POST /v1/sweeps          {"configs": [...]}   submit a batch
 //	GET  /v1/sweeps/{id}                          sweep status
+//	GET  /v1/sweeps/{id}/results                  per-point results (partial OK)
 //	GET  /v1/sweeps/{id}/events                   SSE progress stream
 //	GET  /healthz                                 liveness (503 while draining)
 //	GET  /metrics                                 Prometheus text format
@@ -52,6 +54,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -76,6 +79,9 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.opts.RetryAfter.Seconds()))))
+	case errors.Is(err, ErrBreakerOpen):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.opts.BreakerCooldown.Seconds()))))
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
@@ -165,6 +171,15 @@ func (s *Service) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+func (s *Service) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	res, err := s.SweepResults(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -202,19 +217,41 @@ const sseHeartbeat = 15 * time.Second
 // event, until the stream's subject reaches a terminal state, the
 // client disconnects, or the service shuts down. Event Seq numbers are
 // the SSE ids, so a dropped client resumes exactly where it left off.
+//
+// Every write carries a deadline (Options.SSEWriteTimeout): a
+// subscriber that cannot drain the stream — dead peer, zero TCP window,
+// stalled proxy — is disconnected instead of pinning this handler
+// goroutine forever. The client reconnects with Last-Event-ID and loses
+// nothing.
 func (s *Service) streamSSE(w http.ResponseWriter, r *http.Request, c *cursor) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "response writer does not support streaming"})
-		return
-	}
+	rc := http.NewResponseController(w)
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	fl.Flush()
+	if err := rc.Flush(); err != nil {
+		return
+	}
+
+	// push writes one frame under the write deadline; a false return
+	// means the subscriber is too slow (or gone) and must be dropped.
+	push := func(format string, args ...any) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.opts.SSEWriteTimeout))
+		// Chaos: an injected delay here outlasts the deadline, so the
+		// following write fails exactly like a stalled consumer.
+		_ = s.opts.Faults.Fire(r.Context(), fault.SiteSSEWrite)
+		if _, err := fmt.Fprintf(w, format, args...); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	drop := func() {
+		s.mu.Lock()
+		s.sseDropped++
+		s.mu.Unlock()
+	}
 
 	after := 0
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
@@ -233,11 +270,11 @@ func (s *Service) streamSSE(w http.ResponseWriter, r *http.Request, c *cursor) {
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			if !push("id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data) {
+				drop()
+				return
+			}
 			after = ev.Seq
-		}
-		if len(events) > 0 {
-			fl.Flush()
 		}
 		if terminal || closing {
 			return
@@ -250,8 +287,10 @@ func (s *Service) streamSSE(w http.ResponseWriter, r *http.Request, c *cursor) {
 			// Drain whatever landed before shutdown, then end cleanly.
 			closing = true
 		case <-heartbeat.C:
-			fmt.Fprint(w, ": heartbeat\n\n")
-			fl.Flush()
+			if !push(": heartbeat\n\n") {
+				drop()
+				return
+			}
 		}
 	}
 }

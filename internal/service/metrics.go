@@ -22,6 +22,10 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	p.Gauge("hbserved_draining", "1 while shutdown is draining jobs.", draining)
+	p.Gauge("hbserved_breaker_state", "Circuit breaker position: 0 closed, 1 open, 2 half-open.", float64(s.breaker))
+	p.Counter("hbserved_breaker_opens_total", "Times the circuit breaker tripped open.", float64(s.breakerOpens))
+	p.Counter("hbserved_sse_dropped_total", "SSE subscribers dropped for not draining events within the write timeout.", float64(s.sseDropped))
+	p.Counter("hbserved_sweeps_truncated_total", "Sweeps that completed with at least one deadline-truncated member.", float64(s.truncatedSweeps))
 
 	p.Counter("hbserved_jobs_submitted_total", "Jobs accepted into the queue.", float64(s.submitted))
 	p.Counter("hbserved_jobs_deduped_total", "Submissions answered by an existing identical job.", float64(s.deduped))
@@ -35,6 +39,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("hbserved_runner_memo_hits_total", "Runner jobs deduplicated in-process.", float64(rm.MemoHits))
 	p.Counter("hbserved_runner_errors_total", "Runner jobs whose final attempt failed.", float64(rm.Errors))
 	p.Counter("hbserved_runner_retries_total", "Extra attempts consumed by failing runner jobs.", float64(rm.Retries))
+	p.Counter("hbserved_cache_corrupt_entries_total", "On-disk cache entries that failed their integrity check and were quarantined.", float64(rm.CorruptEntries))
 	p.Counter("hbserved_runner_sim_seconds_total", "Cumulative wall time inside the simulator.", rm.SimWall.Seconds())
 	p.Gauge("hbserved_cache_hit_ratio", "Fraction of completed runner jobs served without simulating (disk cache + memo).",
 		stats.Ratio(uint64(rm.CacheHits+rm.MemoHits), uint64(rm.Done)))

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"hbcache/internal/fault"
 	"hbcache/internal/runner"
 	"hbcache/internal/sim"
 	"hbcache/internal/stats"
@@ -48,6 +49,22 @@ type Options struct {
 	// prewarm+warmup+measure instruction budget exceeds it — a guard
 	// against a single request monopolizing a shared box.
 	MaxTotalInsts uint64
+	// BreakerThreshold is how many consecutive job failures open the
+	// circuit breaker (new submissions answered 503 + Retry-After until
+	// a cooldown passes and a half-open probe succeeds). Zero selects
+	// 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before
+	// admitting a single half-open probe. Zero selects 15s.
+	BreakerCooldown time.Duration
+	// SSEWriteTimeout bounds each SSE write; a subscriber that cannot
+	// drain events within it is dropped (it can reconnect and resume
+	// via Last-Event-ID) instead of blocking the handler goroutine
+	// forever on a dead or stalled peer. Zero selects 30s.
+	SSEWriteTimeout time.Duration
+	// Faults, when non-nil, is the chaos registry for the service's
+	// own fault sites (currently fault.SiteSSEWrite).
+	Faults *fault.Registry
 }
 
 func (o Options) withDefaults(r *runner.Runner) Options {
@@ -59,6 +76,18 @@ func (o Options) withDefaults(r *runner.Runner) Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = 5
+	case o.BreakerThreshold < 0:
+		o.BreakerThreshold = 0 // disabled
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 15 * time.Second
+	}
+	if o.SSEWriteTimeout <= 0 {
+		o.SSEWriteTimeout = 30 * time.Second
 	}
 	return o
 }
@@ -74,6 +103,19 @@ var (
 	ErrInvalid = errors.New("service: invalid config")
 	// ErrNotFound means no job or sweep has the requested id.
 	ErrNotFound = errors.New("service: not found")
+	// ErrBreakerOpen means the circuit breaker has tripped on
+	// consecutive failures; retry after the cooldown.
+	ErrBreakerOpen = errors.New("service: circuit breaker open")
+)
+
+// breakerState is the circuit breaker's position. The numeric values
+// are exported verbatim on /metrics (hbserved_breaker_state).
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0
+	breakerOpen     breakerState = 1
+	breakerHalfOpen breakerState = 2
 )
 
 // State is a job's lifecycle position.
@@ -142,6 +184,34 @@ type SweepView struct {
 	Done   int      `json:"done"`
 	Failed int      `json:"failed"`
 	JobIDs []string `json:"job_ids"`
+	// Truncated reports that at least one member job was cut short by a
+	// deadline or budget rather than failing on its own terms: the
+	// sweep's completed points are valid, but coverage is partial.
+	Truncated bool `json:"truncated"`
+}
+
+// SweepPoint is one submitted config's outcome within a sweep, in
+// submission order (deduplicated configs repeat their shared job).
+type SweepPoint struct {
+	JobID  string      `json:"job_id"`
+	State  State       `json:"state"`
+	Config sim.Config  `json:"config"`
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// SweepResults is the partial-or-complete result set of a sweep. It is
+// always retrievable with HTTP 200 — a sweep that hit its deadline
+// degrades to the points that finished, flagged Truncated, rather than
+// becoming an error.
+type SweepResults struct {
+	ID        string       `json:"id"`
+	Total     int          `json:"total"`
+	Done      int          `json:"done"`
+	Failed    int          `json:"failed"`
+	Complete  bool         `json:"complete"`
+	Truncated bool         `json:"truncated"`
+	Points    []SweepPoint `json:"points"`
 }
 
 // job is the service's mutable record of one submission; all fields
@@ -155,6 +225,7 @@ type job struct {
 	errMsg    string
 	cacheHit  bool
 	memoHit   bool
+	deadlined bool // failed because a deadline/budget cut it short
 	wall      time.Duration
 	events    []Event
 	watchers  map[int]chan struct{}
@@ -168,6 +239,7 @@ type sweep struct {
 	total     int
 	done      int
 	failed    int
+	deadlined int // members of failed that were deadline-truncated
 	events    []Event
 	watchers  map[int]chan struct{}
 	nextWatch int
@@ -205,6 +277,16 @@ type Service struct {
 	failedJobs uint64
 	latency    *stats.LatencyHistogram
 	lastRunner runner.Metrics
+
+	// Circuit breaker state, all under mu.
+	breaker         breakerState
+	consecFails     int
+	breakerOpenedAt time.Time
+	breakerOpens    uint64
+	probing         bool // a half-open probe job is in flight
+
+	sseDropped      uint64 // SSE subscribers dropped for not draining in time
+	truncatedSweeps uint64 // sweeps completed with deadline-truncated members
 }
 
 // New builds a Service over r and starts its workers. Callers must
@@ -274,14 +356,80 @@ func (s *Service) Submit(cfg sim.Config) (JobView, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j := s.byKey[key]; j != nil {
+		// Dedup bypasses the breaker: answering from existing work costs
+		// nothing and cannot deepen an outage.
 		s.deduped++
 		return s.viewLocked(j), true, nil
 	}
+	if err := s.breakerAllowLocked(); err != nil {
+		return JobView{}, false, err
+	}
+	wasProbe := s.breaker == breakerHalfOpen
 	j, err := s.admitLocked(cfg, key)
 	if err != nil {
+		if wasProbe {
+			// The probe slot was granted but never used; free it so the
+			// next submission can probe instead of waiting on this one.
+			s.probing = false
+		}
 		return JobView{}, false, err
 	}
 	return s.viewLocked(j), false, nil
+}
+
+// breakerAllowLocked gates admission of genuinely new work. Closed
+// passes everything; open rejects until the cooldown has elapsed, then
+// degrades to half-open; half-open admits exactly one probe at a time —
+// its outcome decides whether the breaker closes or re-opens.
+func (s *Service) breakerAllowLocked() error {
+	if s.opts.BreakerThreshold <= 0 {
+		return nil
+	}
+	switch s.breaker {
+	case breakerOpen:
+		if time.Since(s.breakerOpenedAt) < s.opts.BreakerCooldown {
+			return ErrBreakerOpen
+		}
+		s.breaker = breakerHalfOpen
+		s.probing = false
+		fallthrough
+	case breakerHalfOpen:
+		if s.probing {
+			return ErrBreakerOpen
+		}
+		s.probing = true
+	}
+	return nil
+}
+
+// breakerResultLocked folds one finished job into the breaker: any
+// success closes a half-open breaker and clears the failure streak; a
+// failure re-opens a half-open breaker immediately, and trips a closed
+// one once the streak reaches the threshold.
+func (s *Service) breakerResultLocked(failed bool) {
+	if s.opts.BreakerThreshold <= 0 {
+		return
+	}
+	if !failed {
+		s.consecFails = 0
+		if s.breaker == breakerHalfOpen {
+			s.breaker = breakerClosed
+			s.probing = false
+		}
+		return
+	}
+	s.consecFails++
+	switch {
+	case s.breaker == breakerHalfOpen:
+		s.breaker = breakerOpen
+		s.breakerOpenedAt = time.Now()
+		s.breakerOpens++
+		s.probing = false
+	case s.breaker == breakerClosed && s.consecFails >= s.opts.BreakerThreshold:
+		s.breaker = breakerOpen
+		s.breakerOpenedAt = time.Now()
+		s.breakerOpens++
+	}
 }
 
 // admitLocked creates and enqueues a job, or reports why it cannot.
@@ -345,7 +493,16 @@ func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
 			inBatch[k] = true
 		}
 	}
+	if fresh > 0 {
+		if err := s.breakerAllowLocked(); err != nil {
+			return SweepView{}, err
+		}
+	}
+	wasProbe := fresh > 0 && s.breaker == breakerHalfOpen
 	if cap(s.queue)-len(s.queue) < fresh {
+		if wasProbe {
+			s.probing = false
+		}
 		s.rejected++
 		return SweepView{}, ErrQueueFull
 	}
@@ -378,6 +535,9 @@ func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
 				// now; it will never fire a completion for us.
 				if j.state == StateFailed {
 					sw.failed++
+					if j.deadlined {
+						sw.deadlined++
+					}
 				} else {
 					sw.done++
 				}
@@ -390,6 +550,10 @@ func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
 	s.sweepOrder = append(s.sweepOrder, sw.id)
 	if sw.done+sw.failed > 0 {
 		s.appendSweepEventLocked(sw, Event{Type: "progress", Done: sw.done, Failed: sw.failed, Total: sw.total})
+	}
+	if sw.done+sw.failed == sw.total && sw.deadlined > 0 {
+		// Born complete from already-terminal members, some truncated.
+		s.truncatedSweeps++
 	}
 	return s.sweepViewLocked(sw), nil
 }
@@ -418,6 +582,7 @@ func (s *Service) runJob(j *job) {
 	if jr.Err != nil {
 		j.state = StateFailed
 		j.errMsg = jr.Err.Error()
+		j.deadlined = deadlineClass(jr.Err)
 		s.failedJobs++
 	} else {
 		j.state = StateDone
@@ -425,6 +590,7 @@ func (s *Service) runJob(j *job) {
 		j.res = &res
 		s.doneJobs++
 	}
+	s.breakerResultLocked(jr.Err != nil)
 	s.latency.Observe(jr.Wall.Seconds())
 	s.appendJobEventLocked(j, Event{Type: "state", State: j.state, Error: j.errMsg})
 
@@ -432,6 +598,9 @@ func (s *Service) runJob(j *job) {
 	for _, sw := range j.sweeps {
 		if j.state == StateFailed {
 			sw.failed++
+			if j.deadlined {
+				sw.deadlined++
+			}
 		} else {
 			sw.done++
 		}
@@ -440,8 +609,22 @@ func (s *Service) runJob(j *job) {
 			Done: sw.done, Failed: sw.failed, Total: sw.total,
 			Runner: &rm,
 		})
+		if sw.done+sw.failed == sw.total && sw.deadlined > 0 {
+			s.truncatedSweeps++
+		}
 	}
 	j.sweeps = nil
+}
+
+// deadlineClass reports whether an error means "cut short by a
+// deadline or budget" — the job didn't fail on its own terms, it ran
+// out of allowance. Sweeps with such members report Truncated rather
+// than treating the partial coverage as an outright failure.
+func deadlineClass(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, sim.ErrAborted) ||
+		errors.Is(err, sim.ErrBudget)
 }
 
 func (s *Service) appendJobEventLocked(j *job, ev Event) {
@@ -482,12 +665,47 @@ func (s *Service) viewLocked(j *job) JobView {
 
 func (s *Service) sweepViewLocked(sw *sweep) SweepView {
 	return SweepView{
-		ID:     sw.id,
-		Total:  sw.total,
-		Done:   sw.done,
-		Failed: sw.failed,
-		JobIDs: append([]string(nil), sw.jobIDs...),
+		ID:        sw.id,
+		Total:     sw.total,
+		Done:      sw.done,
+		Failed:    sw.failed,
+		JobIDs:    append([]string(nil), sw.jobIDs...),
+		Truncated: sw.deadlined > 0,
 	}
+}
+
+// SweepResults returns the sweep's per-point outcomes as they stand:
+// completed points carry results, failed points carry errors, and
+// points still queued or running are reported as such. Callers polling
+// a deadline-bound sweep get every finished point plus the Truncated
+// flag instead of an all-or-nothing error.
+func (s *Service) SweepResults(id string) (SweepResults, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.sweeps[id]
+	if sw == nil {
+		return SweepResults{}, fmt.Errorf("%w: sweep %q", ErrNotFound, id)
+	}
+	out := SweepResults{
+		ID:        sw.id,
+		Total:     sw.total,
+		Done:      sw.done,
+		Failed:    sw.failed,
+		Complete:  sw.done+sw.failed == sw.total,
+		Truncated: sw.deadlined > 0,
+		Points:    make([]SweepPoint, 0, len(sw.jobIDs)),
+	}
+	for _, jid := range sw.jobIDs {
+		j := s.jobs[jid]
+		out.Points = append(out.Points, SweepPoint{
+			JobID:  j.id,
+			State:  j.state,
+			Config: j.cfg,
+			Result: j.res,
+			Error:  j.errMsg,
+		})
+	}
+	return out, nil
 }
 
 // Job returns the current view of a job.

@@ -33,14 +33,14 @@ func testConfig(i int) sim.Config {
 }
 
 // stubSim derives a deterministic result from the config alone.
-func stubSim(cfg sim.Config) (sim.Result, error) {
+func stubSim(_ context.Context, cfg sim.Config) (sim.Result, error) {
 	return sim.Result{Benchmark: cfg.Benchmark, Cycles: cfg.Seed * 10, IPC: float64(cfg.Seed)}, nil
 }
 
 // newTestServer wires a stubbed runner, a service, and an httptest
 // server, and tears all three down in order (service first, so SSE
 // handlers finish before the listener closes).
-func newTestServer(t *testing.T, simFn func(sim.Config) (sim.Result, error), opts Options) (*Service, *httptest.Server) {
+func newTestServer(t *testing.T, simFn func(context.Context, sim.Config) (sim.Result, error), opts Options) (*Service, *httptest.Server) {
 	t.Helper()
 	r, err := runner.New(runner.Options{Workers: 4, Sim: simFn})
 	if err != nil {
@@ -118,10 +118,10 @@ func waitState(t *testing.T, svc *Service, id string) JobView {
 func TestDedupConcurrentSubmits(t *testing.T) {
 	var sims atomic.Int64
 	release := make(chan struct{})
-	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+	svc, ts := newTestServer(t, func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		sims.Add(1)
 		<-release
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}, Options{QueueSize: 8, Concurrency: 4})
 
 	const n = 20
@@ -186,10 +186,10 @@ func TestDedupConcurrentSubmits(t *testing.T) {
 func TestQueueFullBackpressure(t *testing.T) {
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
-	_, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		started <- struct{}{}
 		<-release
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}, Options{QueueSize: 2, Concurrency: 1, RetryAfter: 7 * time.Second})
 	defer close(release)
 
@@ -281,9 +281,9 @@ func readSSE(t *testing.T, body io.Reader) []sseEvent {
 // released).
 func TestSSEJobStream(t *testing.T) {
 	release := make(chan struct{})
-	_, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		<-release
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}, Options{QueueSize: 4, Concurrency: 1})
 
 	_, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(0)})
@@ -332,9 +332,9 @@ func TestSSEJobStream(t *testing.T) {
 // when every member job finishes.
 func TestSSESweepStream(t *testing.T) {
 	release := make(chan struct{})
-	_, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		<-release
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}, Options{QueueSize: 16, Concurrency: 3})
 
 	const n = 5
@@ -442,13 +442,13 @@ func TestSweepDedup(t *testing.T) {
 func TestShutdownDrains(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
-	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+	svc, ts := newTestServer(t, func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		select {
 		case started <- struct{}{}:
 		default:
 		}
 		<-release
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}, Options{QueueSize: 8, Concurrency: 1})
 
 	// One in flight, two queued.
@@ -584,9 +584,9 @@ func TestValidationErrors(t *testing.T) {
 // TestResultEndpointAndNotFound covers polling semantics and 404s.
 func TestResultEndpointAndNotFound(t *testing.T) {
 	release := make(chan struct{})
-	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+	svc, ts := newTestServer(t, func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		<-release
-		return stubSim(cfg)
+		return stubSim(ctx, cfg)
 	}, Options{QueueSize: 4, Concurrency: 1})
 
 	_, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(0)})
@@ -628,7 +628,7 @@ func TestResultEndpointAndNotFound(t *testing.T) {
 // TestFailedJobSurfacesError: a simulation error lands in the job view,
 // the result endpoint, and the failure counters.
 func TestFailedJobSurfacesError(t *testing.T) {
-	svc, ts := newTestServer(t, func(cfg sim.Config) (sim.Result, error) {
+	svc, ts := newTestServer(t, func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		return sim.Result{}, fmt.Errorf("synthetic meltdown")
 	}, Options{QueueSize: 4, Concurrency: 1})
 

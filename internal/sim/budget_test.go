@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hbcache/internal/fault"
+)
+
+// budgetConfig is a run big enough that an unbudgeted execution takes
+// visibly longer than a budgeted one.
+func budgetConfig() Config {
+	cfg := baseConfig("gcc")
+	cfg.PrewarmInsts = 200_000
+	cfg.MeasureInsts = 2_000_000
+	return cfg
+}
+
+func TestMaxCyclesStopsWithErrBudget(t *testing.T) {
+	_, err := RunContext(context.Background(), budgetConfig(), RunOpts{MaxCycles: 20_000})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestWallTimeoutStopsWithErrBudget(t *testing.T) {
+	start := time.Now()
+	_, err := RunContext(context.Background(), budgetConfig(), RunOpts{Timeout: 10 * time.Millisecond})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("budgeted run took %v; cooperative abort is not working", elapsed)
+	}
+}
+
+func TestCancelStopsWithErrAborted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, budgetConfig(), RunOpts{})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// The run may legitimately finish before cancellation lands on a
+		// fast machine; only a late error classification is a bug.
+		if err != nil && !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted or nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+// TestInjectedHangReleasedByCancel proves the acceptance criterion at
+// the sim layer: a hang injected via internal/fault blocks the run
+// until the context is cancelled, and the worker goroutine is freed
+// promptly rather than burning to completion.
+func TestInjectedHangReleasedByCancel(t *testing.T) {
+	reg := fault.New(1).Add(fault.Rule{Site: fault.SiteSimRun, Kind: fault.KindHang})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, baseConfig("gcc"), RunOpts{Faults: reg})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung run returned %v before cancel", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang not released by cancel")
+	}
+	if reg.Fired(fault.SiteSimRun) != 1 {
+		t.Errorf("Fired = %d, want 1", reg.Fired(fault.SiteSimRun))
+	}
+}
+
+// TestInjectedHangReleasedByWallBudget: the same hang is also freed by
+// the run's own wall budget, with the budget classification.
+func TestInjectedHangReleasedByWallBudget(t *testing.T) {
+	reg := fault.New(1).Add(fault.Rule{Site: fault.SiteSimRun, Kind: fault.KindHang})
+	_, err := RunContext(context.Background(), baseConfig("gcc"),
+		RunOpts{Timeout: 10 * time.Millisecond, Faults: reg})
+	if !errors.Is(err, ErrAborted) && !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrAborted or ErrBudget", err)
+	}
+}
+
+func TestInjectedErrorPropagates(t *testing.T) {
+	reg := fault.New(1).Add(fault.Rule{Site: fault.SiteSimRun, Kind: fault.KindError})
+	_, err := RunContext(context.Background(), baseConfig("gcc"), RunOpts{Faults: reg})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want fault.ErrInjected", err)
+	}
+}
+
+func TestInvalidConfigClassified(t *testing.T) {
+	cfg := baseConfig("no-such-benchmark")
+	if _, err := RunContext(context.Background(), cfg, RunOpts{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestRunContextMatchesRun: with zero opts, the budgeted path is
+// bit-identical to the historical Run — budget polling must not perturb
+// results.
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := baseConfig("gcc")
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("RunContext result differs from Run:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestGenerousBudgetDoesNotTruncate: a budget far above the run's needs
+// must not trip.
+func TestGenerousBudgetDoesNotTruncate(t *testing.T) {
+	cfg := baseConfig("gcc")
+	r, err := RunContext(context.Background(), cfg, RunOpts{MaxCycles: 1 << 40, Timeout: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions < cfg.MeasureInsts {
+		t.Errorf("measured %d instructions, want >= %d", r.Instructions, cfg.MeasureInsts)
+	}
+}

@@ -7,12 +7,31 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"hbcache/internal/cpu"
+	"hbcache/internal/fault"
 	"hbcache/internal/fo4"
 	"hbcache/internal/mem"
 	"hbcache/internal/workload"
+)
+
+// Sentinel errors, used by the runner's retry classification: none of
+// these get better by re-running the same deterministic simulation.
+var (
+	// ErrAborted means the run was stopped by its context — a caller
+	// cancellation, a job timeout, or a client disconnect.
+	ErrAborted = errors.New("sim: aborted")
+	// ErrBudget means the run exhausted its own cycle or wall budget
+	// (RunOpts.MaxCycles / RunOpts.Timeout).
+	ErrBudget = errors.New("sim: budget exhausted")
+	// ErrInvalidConfig wraps configuration errors: the config can never
+	// simulate, no matter how often it is retried.
+	ErrInvalidConfig = errors.New("sim: invalid config")
 )
 
 // Config is one simulation run. The JSON field names are the stable
@@ -133,35 +152,79 @@ func (c Config) WithDefaults() Config {
 func (c Config) Validate() error {
 	gen, err := workload.New(c.Benchmark, c.Seed)
 	if err != nil {
-		return fmt.Errorf("sim: invalid config: %w", err)
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	if c.PrewarmInsts == 0 || c.WarmupInsts == 0 || c.MeasureInsts == 0 {
-		return fmt.Errorf("sim: invalid config: instruction windows must be positive, got prewarm=%d warmup=%d measure=%d (zero means \"use default\" only via WithDefaults)",
-			c.PrewarmInsts, c.WarmupInsts, c.MeasureInsts)
+		return fmt.Errorf("%w: instruction windows must be positive, got prewarm=%d warmup=%d measure=%d (zero means \"use default\" only via WithDefaults)",
+			ErrInvalidConfig, c.PrewarmInsts, c.WarmupInsts, c.MeasureInsts)
 	}
 	if !c.PrewarmMode.valid() {
-		return fmt.Errorf("sim: invalid config: unknown prewarm mode %q (want %q, %q or %q)",
-			c.PrewarmMode, PrewarmFastForward, PrewarmStream, PrewarmTiming)
+		return fmt.Errorf("%w: unknown prewarm mode %q (want %q, %q or %q)",
+			ErrInvalidConfig, c.PrewarmMode, PrewarmFastForward, PrewarmStream, PrewarmTiming)
 	}
 	sys, err := mem.NewSystem(c.Memory)
 	if err != nil {
-		return fmt.Errorf("sim: invalid config: %w", err)
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	if _, err := cpu.New(c.CPU, gen, sys.L1); err != nil {
-		return fmt.Errorf("sim: invalid config: %w", err)
+		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	return nil
 }
 
-// Run executes one simulation.
+// RunOpts bound one simulation run. The zero value means "no limits,
+// no faults" and reproduces Run's behavior exactly.
+type RunOpts struct {
+	// MaxCycles caps total simulated cycles (timed prewarm, warmup, and
+	// measurement together, on the core's monotonic clock). Exceeding
+	// it fails the run with ErrBudget. Zero means uncapped.
+	MaxCycles uint64
+	// Timeout caps the run's wall time; exceeding it fails the run with
+	// ErrBudget. Zero means uncapped.
+	Timeout time.Duration
+	// Faults, when non-nil, is consulted at fault.SiteSimRun before the
+	// simulation starts — chaos tests and failure rehearsal inject
+	// panics, hangs, delays, and errors there.
+	Faults *fault.Registry
+}
+
+// Run executes one simulation with no cancellation, budget, or fault
+// injection — the convenience form of RunContext.
 func Run(cfg Config) (Result, error) {
+	return RunContext(context.Background(), cfg, RunOpts{})
+}
+
+// RunContext executes one simulation under ctx. Cancellation is
+// cooperative: the core polls an abort flag every ~1k cycles and the
+// prewarm loops check it per chunk, so a cancelled or timed-out run
+// releases its CPU within microseconds instead of completing — the
+// property that makes the service's JobTimeout and client disconnects
+// real. A run stopped by ctx fails with ErrAborted; one stopped by its
+// own RunOpts budget fails with ErrBudget.
+func RunContext(ctx context.Context, cfg Config, opts RunOpts) (Result, error) {
+	// The wall budget is installed before anything else so even the
+	// fault site (where chaos tests park hangs) is bounded by it.
+	rctx, cancel := context.WithCancel(ctx)
+	if opts.Timeout > 0 {
+		rctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+	}
+	defer cancel()
+	if err := opts.Faults.Fire(rctx, fault.SiteSimRun); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctx.Err() != nil {
+				return Result{}, fmt.Errorf("%w: %v", ErrAborted, err)
+			}
+			return Result{}, fmt.Errorf("%w: wall budget of %v exhausted", ErrBudget, opts.Timeout)
+		}
+		return Result{}, err
+	}
 	gen, err := workload.New(cfg.Benchmark, cfg.Seed)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	sys, err := mem.NewSystem(cfg.Memory)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	cfg = cfg.WithDefaults()
 	prewarm, warmup, measure := cfg.PrewarmInsts, cfg.WarmupInsts, cfg.MeasureInsts
@@ -171,7 +234,35 @@ func Run(cfg Config) (Result, error) {
 	// needs it running.
 	core, err := cpu.New(cfg.CPU, gen, sys.L1)
 	if err != nil {
-		return Result{}, err
+		return Result{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+
+	// One watcher goroutine folds ctx cancellation and the wall budget
+	// into a single atomic flag the hot loops can poll for free. It is
+	// reaped before RunContext returns, so runs never leak goroutines.
+	stop := new(atomic.Bool)
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		<-rctx.Done()
+		stop.Store(true)
+	}()
+	defer func() {
+		cancel()
+		<-watcherDone
+	}()
+	core.SetBudget(stop, opts.MaxCycles)
+
+	// abortErr names what stopped the run, in classification order: the
+	// hard cycle cap, then the caller's context, then the wall budget.
+	abortErr := func() error {
+		if opts.MaxCycles > 0 && uint64(core.Now()) >= opts.MaxCycles {
+			return fmt.Errorf("%w: cycle budget of %d exhausted", ErrBudget, opts.MaxCycles)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrAborted, err)
+		}
+		return fmt.Errorf("%w: wall budget of %v exhausted", ErrBudget, opts.Timeout)
 	}
 
 	// Pre-warm to steady state, standing in for the paper's
@@ -184,11 +275,17 @@ func Run(cfg Config) (Result, error) {
 	// prefixes the timing model never fetched.
 	for _, region := range gen.Regions() {
 		for off := uint64(0); off < region.Bytes; off += 32 {
+			if off&(64<<10-1) == 0 && stop.Load() {
+				return Result{}, abortErr()
+			}
 			sys.WarmTouch(region.Base + off)
 		}
 	}
 	if cfg.PrewarmMode == PrewarmTiming {
 		core.Run(prewarm)
+		if core.Stopped() {
+			return Result{}, abortErr()
+		}
 	} else {
 		// Functional drain, in chunks so the generator's batch loop and
 		// the concrete WarmTouch/predictor calls both stay call-free.
@@ -196,6 +293,9 @@ func Run(cfg Config) (Result, error) {
 		pred := core.Predictor()
 		var addrs, branches [4096]uint64
 		for left := prewarm; left > 0; {
+			if stop.Load() {
+				return Result{}, abortErr()
+			}
 			chunk := len(addrs)
 			if uint64(chunk) > left {
 				chunk = int(left)
@@ -214,6 +314,9 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	core.Run(warmup)
+	if core.Stopped() {
+		return Result{}, abortErr()
+	}
 	preLoads := sys.L1.Loads()
 	preLoadMiss := sys.L1.LoadMisses()
 	preStoreMiss := sys.L1.StoreMisses()
@@ -224,6 +327,9 @@ func Run(cfg Config) (Result, error) {
 	core.ResetStats()
 
 	s := core.Run(measure)
+	if core.Stopped() {
+		return Result{}, abortErr()
+	}
 
 	res := Result{
 		Benchmark:       cfg.Benchmark,
