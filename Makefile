@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build bin test race vet fmt verify bench serve chaos
+.PHONY: build bin test race vet fmt verify bench serve chaos cover fuzz
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,10 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# -shuffle=on randomizes test and subtest execution order each run,
+# keeping the suite honest about hidden inter-test state.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The runner, simulator, HTTP service, and server binary are the
 # concurrency-sensitive packages; run them under the race detector in
@@ -38,6 +40,19 @@ serve:
 
 verify: build vet fmt race test
 	@echo "verify: OK"
+
+# Coverage over the full module; cover.out feeds `go tool cover -html`
+# and the CI artifact.
+cover:
+	$(GO) test -shuffle=on -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Short-budget native fuzzing of the whole simulator under invariant
+# checking. FUZZTIME bounds the run (CI uses 30s); found crashers land
+# in internal/sim/testdata/fuzz and re-run as regular tests forever.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzRunContext -fuzztime $(FUZZTIME) ./internal/sim
 
 # Benchmark run: BENCH selects the pattern, BENCH_COUNT the repetitions
 # (use BENCH_COUNT=10 with benchstat for before/after comparisons). The

@@ -104,3 +104,25 @@ func TestCPUStepAllocFree(t *testing.T) {
 	core.RunCycles(20_000)
 	pinZeroAllocs(t, "CPU.Step", func() { core.Step() })
 }
+
+// TestCPUStepCheckerDisabledAllocFree pins the cost of the invariant-
+// checker hooks when checking is off (sim.RunOpts.Check=false, the
+// default): with no checker installed the guarded hook sites must
+// compile down to nil tests and the hot loop must stay at exactly
+// zero allocations, same as before the hooks existed. The checked
+// mode is allowed to allocate — it trades an order of magnitude of
+// speed for validation — but nobody who didn't ask for it pays.
+func TestCPUStepCheckerDisabledAllocFree(t *testing.T) {
+	gen := workload.MustNew("database", 1)
+	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(16<<10, 1, mem.PortConfig{Kind: mem.BankedPorts, Count: 8}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := cpu.New(cpu.DefaultConfig(), gen, sys.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetChecker(nil) // explicit: checking disabled
+	core.RunCycles(20_000)
+	pinZeroAllocs(t, "CPU.Step (checker disabled)", func() { core.Step() })
+}

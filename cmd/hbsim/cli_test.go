@@ -1,0 +1,44 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/sim"
+)
+
+// parseSize is permissive about magnitude — "0" and "-8K" are
+// well-formed numbers — so the guard against unusable sizes lives in
+// sim.Config.Validate. This test pins that division of labor: such
+// sizes parse, then validation refuses to simulate them.
+func TestParseSizeZeroAndNegativeRejectedByValidate(t *testing.T) {
+	for in, want := range map[string]int{"0": 0, "-8K": -8 << 10, "-1": -1} {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Fatalf("parseSize(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+		cfg := sim.Config{
+			Benchmark: "gcc",
+			Seed:      1,
+			CPU:       cpu.DefaultConfig(),
+			Memory:    sim.ScaledSRAMSystem(got, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, false, 25),
+		}.WithDefaults()
+		if err := cfg.Validate(); !errors.Is(err, sim.ErrInvalidConfig) {
+			t.Errorf("size %q: Validate = %v, want ErrInvalidConfig", in, err)
+		}
+	}
+}
+
+func TestParseSizeOverflowSuffix(t *testing.T) {
+	// A bare suffix or embedded whitespace is malformed, not zero.
+	for _, bad := range []string{"M", "8 K", "1e3"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) should fail", bad)
+		}
+	}
+}

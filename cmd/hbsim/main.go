@@ -42,6 +42,7 @@ func main() {
 		prewarm = flag.String("prewarm-mode", "", "prewarm mode: fast-forward (default), stream, timing")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); exceeding it is an error")
 		maxCyc  = flag.Uint64("max-cycles", 0, "simulated-cycle budget for the run (0 = unlimited); exceeding it is an error")
+		chk     = flag.Bool("check", false, "run with cycle-level invariant checking (slow; fails on any machine-state violation)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -108,6 +109,7 @@ func main() {
 	res, err := sim.RunContext(context.Background(), cfg, sim.RunOpts{
 		Timeout:   *timeout,
 		MaxCycles: *maxCyc,
+		Check:     *chk,
 	})
 	if err != nil {
 		fatal(err)

@@ -57,6 +57,7 @@ type sweepSpec struct {
 	progress  bool
 	timeout   time.Duration
 	maxCycles uint64
+	check     bool
 }
 
 func main() {
@@ -77,6 +78,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report progress on stderr while the sweep runs")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per point (0 = unlimited); a point over budget fails the sweep")
 		maxCyc   = flag.Uint64("max-cycles", 0, "simulated-cycle budget per point (0 = unlimited)")
+		chk      = flag.Bool("check", false, "run every point with cycle-level invariant checking (slow)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -119,6 +121,7 @@ func main() {
 		progress:    *progress,
 		timeout:     *timeout,
 		maxCycles:   *maxCyc,
+		check:       *chk,
 	}
 	var err error
 	if spec.benches, err = parseBenches(*benches); err != nil {
@@ -183,6 +186,7 @@ func runSweep(ctx context.Context, out, errw io.Writer, spec sweepSpec) (runner.
 		CacheDir:     spec.cacheDir,
 		SimTimeout:   spec.timeout,
 		SimMaxCycles: spec.maxCycles,
+		SimCheck:     spec.check,
 	}
 	if spec.progress {
 		opts.OnProgress = func(m runner.Metrics) {

@@ -1,0 +1,163 @@
+package check
+
+import (
+	"testing"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/workload"
+)
+
+// diffInsts is sized so every workload's region set is well exercised
+// (several L1 fills per set) while the full 9-benchmark sweep stays
+// inside a normal `go test` budget.
+const diffInsts = 100_000
+
+func sramDiff(bench string, seed uint64) DiffConfig {
+	return DiffConfig{
+		Benchmark: bench,
+		Seed:      seed,
+		CPU:       cpu.DefaultConfig(),
+		Memory:    mem.DefaultSRAMSystem(16<<10, 1, mem.PortConfig{Kind: mem.IdealPorts, Count: 2}, false),
+		Insts:     diffInsts,
+	}
+}
+
+// TestDifferentialAllBenchmarks is the tentpole assertion: for every
+// Table 2 workload the out-of-order pipeline's retired stream agrees
+// exactly — event totals, miss counts, stream hash — with the golden
+// in-order model.
+func TestDifferentialAllBenchmarks(t *testing.T) {
+	for _, bench := range workload.BenchmarkNames() {
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunDifferential(sramDiff(bench, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Compare(); err != nil {
+				t.Error(err)
+			}
+			if err := rep.CrossCheck(0.05); err != nil {
+				t.Error(err)
+			}
+			if rep.Golden.Retired < diffInsts {
+				t.Errorf("golden retired %d, want >= %d", rep.Golden.Retired, diffInsts)
+			}
+		})
+	}
+}
+
+// TestDifferentialWithInvariants reruns the representative subset with
+// the cycle-level invariant checker installed: same exact agreement,
+// and the invariant pass itself must stay silent.
+func TestDifferentialWithInvariants(t *testing.T) {
+	for _, bench := range workload.RepresentativeNames() {
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			cfg := sramDiff(bench, 2)
+			cfg.Insts = 30_000
+			cfg.CheckInvariants = true
+			rep, err := RunDifferential(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Compare(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialPortAndBufferVariants checks that exact agreement is
+// insensitive to the timing-side organization: ports, banking, the
+// line buffer, and the DRAM organization change performance, never
+// architectural event totals.
+func TestDifferentialPortAndBufferVariants(t *testing.T) {
+	variants := map[string]mem.SystemConfig{
+		"duplicate":  mem.DefaultSRAMSystem(16<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, false),
+		"banked8":    mem.DefaultSRAMSystem(16<<10, 2, mem.PortConfig{Kind: mem.BankedPorts, Count: 8}, false),
+		"linebuffer": mem.DefaultSRAMSystem(16<<10, 2, mem.PortConfig{Kind: mem.IdealPorts, Count: 1}, true),
+		"dram":       mem.DefaultDRAMSystem(4, false),
+	}
+	for name, memCfg := range variants {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := sramDiff("gcc", 3)
+			cfg.Memory = memCfg
+			cfg.Insts = 50_000
+			rep, err := RunDifferential(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Compare(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestFuncCacheLRU pins the reference cache's own behaviour on a
+// hand-computable sequence: 2 sets x 2 ways, 32-byte lines.
+func TestFuncCacheLRU(t *testing.T) {
+	c, err := newFuncCache(128, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := func(addr uint64, store bool) bool {
+		miss, _ := c.access(addr, store)
+		return miss
+	}
+	// Lines 0 and 2 map to set 0; 1 and 3 to set 1.
+	if !ref(0, false) || !ref(32, false) || !ref(64, false) {
+		t.Fatal("cold misses expected")
+	}
+	if ref(0, false) {
+		t.Fatal("line 0 should still be resident in set 0")
+	}
+	// Set 0 holds {0 (MRU), 64}; filling line 4 must evict line 64.
+	if !ref(128, true) {
+		t.Fatal("line 4 should miss")
+	}
+	if ref(0, false) {
+		t.Fatal("line 0 was MRU and must survive")
+	}
+	if !ref(64, false) {
+		t.Fatal("line 2 was LRU and must have been evicted")
+	}
+	if got := c.Misses(); got != 5 {
+		t.Fatalf("misses = %d, want 5", got)
+	}
+}
+
+// TestFuncCacheRejectsBadGeometry covers the constructor's validation.
+func TestFuncCacheRejectsBadGeometry(t *testing.T) {
+	for _, tc := range [][3]int{{0, 32, 1}, {128, 0, 1}, {128, 32, 0}, {96, 32, 2}, {100, 32, 1}} {
+		if _, err := newFuncCache(tc[0], tc[1], tc[2]); err == nil {
+			t.Errorf("newFuncCache(%d, %d, %d) accepted invalid geometry", tc[0], tc[1], tc[2])
+		}
+	}
+}
+
+// TestGoldenDeterminism: two golden runs from the same seed agree
+// exactly, and a different seed produces a different stream hash.
+func TestGoldenDeterminism(t *testing.T) {
+	memCfg := mem.DefaultSRAMSystem(16<<10, 1, mem.PortConfig{Kind: mem.IdealPorts, Count: 2}, false)
+	run := func(seed uint64) Totals {
+		g, err := NewGolden(workload.MustNew("li", seed), memCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Run(20_000); err != nil {
+			t.Fatal(err)
+		}
+		return g.Totals()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if c := run(8); c.StreamHash == a.StreamHash {
+		t.Fatal("different seeds produced identical stream hashes")
+	}
+}

@@ -1,0 +1,122 @@
+package check
+
+import (
+	"fmt"
+
+	"hbcache/internal/isa"
+	"hbcache/internal/mem"
+)
+
+// Totals are the architectural event counts both machines must agree
+// on exactly. They are timing-free: nothing here depends on issue
+// width, queue sizes, port counts, or latencies — only on the
+// instruction stream and the cache geometry.
+type Totals struct {
+	Retired       uint64 `json:"retired"`
+	Loads         uint64 `json:"loads"`
+	Stores        uint64 `json:"stores"`
+	Branches      uint64 `json:"branches"`
+	TakenBranches uint64 `json:"taken_branches"`
+	Kernel        uint64 `json:"kernel"`
+	L1Misses      uint64 `json:"l1_misses"`
+	L2Misses      uint64 `json:"l2_misses"`
+	// StreamHash folds every retired instruction's identity (op, pc,
+	// address, branch outcome, mode) into one value, so two streams
+	// that agree on totals but differ in content still diverge.
+	StreamHash uint64 `json:"stream_hash"`
+}
+
+// hashStep folds one instruction into an FNV-1a-style running hash.
+func hashStep(h uint64, inst isa.Inst) uint64 {
+	const prime = 1099511628211
+	mix := func(h, v uint64) uint64 { return (h ^ v) * prime }
+	h = mix(h, uint64(inst.Op))
+	h = mix(h, inst.PC)
+	if inst.Op.IsMem() {
+		h = mix(h, inst.Addr)
+	}
+	var flags uint64
+	if inst.Taken {
+		flags |= 1
+	}
+	if inst.Kernel {
+		flags |= 2
+	}
+	return mix(h, flags)
+}
+
+// hashSeed is the FNV-1a offset basis.
+const hashSeed = 14695981039346656037
+
+// tally is the shared accounting both the golden model and the
+// retired-stream recorder run: one instruction in program order
+// through a functional hierarchy.
+type tally struct {
+	totals Totals
+	hier   *funcHier
+}
+
+func newTally(cfg mem.SystemConfig) (*tally, error) {
+	h, err := newFuncHier(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &tally{hier: h, totals: Totals{StreamHash: hashSeed}}, nil
+}
+
+func (t *tally) record(inst isa.Inst) {
+	t.totals.Retired++
+	t.totals.StreamHash = hashStep(t.totals.StreamHash, inst)
+	if inst.Kernel {
+		t.totals.Kernel++
+	}
+	switch inst.Op {
+	case isa.Load:
+		t.totals.Loads++
+		t.hier.access(inst.Addr, false)
+	case isa.Store:
+		t.totals.Stores++
+		t.hier.access(inst.Addr, true)
+	case isa.Branch:
+		t.totals.Branches++
+		if inst.Taken {
+			t.totals.TakenBranches++
+		}
+	}
+	t.totals.L1Misses = t.hier.L1Misses()
+	t.totals.L2Misses = t.hier.L2Misses()
+}
+
+// Golden is the reference machine: an in-order, single-issue core
+// with no pipeline, no speculation, and no timing, executing a trace
+// over the functional hierarchy. Its only job is to be too simple to
+// be wrong.
+type Golden struct {
+	src isa.Reader
+	t   *tally
+}
+
+// NewGolden builds a golden model reading instructions from src over
+// a functional replica of the memory system described by cfg.
+func NewGolden(src isa.Reader, cfg mem.SystemConfig) (*Golden, error) {
+	t, err := newTally(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Golden{src: src, t: t}, nil
+}
+
+// Run executes exactly n instructions (fewer if the stream ends).
+func (g *Golden) Run(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		inst, ok := g.src.Next()
+		if !ok {
+			return fmt.Errorf("check: golden stream ended after %d of %d instructions", i, n)
+		}
+		g.t.record(inst)
+	}
+	return nil
+}
+
+// Totals returns the event counts accumulated so far.
+func (g *Golden) Totals() Totals { return g.t.totals }

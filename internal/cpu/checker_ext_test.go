@@ -1,0 +1,109 @@
+package cpu_test
+
+import (
+	"strings"
+	"testing"
+
+	"hbcache/internal/check"
+	"hbcache/internal/cpu"
+	"hbcache/internal/isa"
+	"hbcache/internal/mem"
+)
+
+// nullMem is a minimal DataMemory: fixed-latency loads, always-room
+// stores, empty store buffer.
+type nullMem struct{}
+
+func (nullMem) TryLoad(now mem.Cycle, addr uint64) (mem.LoadResult, bool) {
+	return mem.LoadResult{Done: now + 3}, true
+}
+func (nullMem) EnqueueStore(addr uint64) bool     { return true }
+func (nullMem) DrainStores(now mem.Cycle)         {}
+func (nullMem) StoreBufferProbe(addr uint64) bool { return false }
+
+// youngerStoreTrace builds a window where the only store matching the
+// load's doubleword is younger than the load: a long divide feeds the
+// load's address, so by the time the load probes the LSQ the younger
+// store has long since computed its own. A correct LSQ must not
+// forward here.
+func youngerStoreTrace() []isa.Inst {
+	return []isa.Inst{
+		{PC: 0x100, Op: isa.IntDiv, Dst: 1, Src1: isa.NoReg, Src2: isa.NoReg},
+		{PC: 0x108, Op: isa.Load, Dst: 2, Src1: 1, Src2: isa.NoReg, Addr: 0x1000, Size: 8},
+		{PC: 0x110, Op: isa.Store, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Addr: 0x1000, Size: 8},
+	}
+}
+
+// olderStoreTrace builds the legal mirror image: the store precedes
+// the load, and a chained pair of divides keeps the store pinned in
+// the window (unretired but address-ready) while the load, whose
+// address hangs off the first divide, probes the LSQ.
+func olderStoreTrace() []isa.Inst {
+	return []isa.Inst{
+		{PC: 0x100, Op: isa.IntDiv, Dst: 1, Src1: isa.NoReg, Src2: isa.NoReg},
+		{PC: 0x108, Op: isa.IntDiv, Dst: 3, Src1: 1, Src2: isa.NoReg},
+		{PC: 0x110, Op: isa.Store, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Addr: 0x1000, Size: 8},
+		{PC: 0x118, Op: isa.Load, Dst: 2, Src1: 1, Src2: isa.NoReg, Addr: 0x1000, Size: 8},
+	}
+}
+
+func runWithInvariants(t *testing.T, insts []isa.Inst, seedBug bool) (cpu.Stats, *check.Invariants) {
+	t.Helper()
+	core, err := cpu.New(cpu.DefaultConfig(), isa.NewSliceReader(insts), nullMem{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := check.NewInvariants(core, nil, nil)
+	core.SetChecker(inv)
+	cpu.SetForwardBugForTest(core, seedBug)
+	for i := 0; i < 10_000 && !core.Done(); i++ {
+		core.Step()
+	}
+	return core.Stats(), inv
+}
+
+// TestInvariantsCatchSeededForwardingBug is the negative test for the
+// checker: with the store-to-load forwarding age filter deliberately
+// broken, a load forwards from a younger store to the same address,
+// and the invariant checker must flag exactly that.
+func TestInvariantsCatchSeededForwardingBug(t *testing.T) {
+	stats, inv := runWithInvariants(t, youngerStoreTrace(), true)
+	if stats.LoadForwarded == 0 {
+		t.Fatal("seeded bug did not trigger forwarding; the trace no longer exercises it")
+	}
+	err := inv.Err()
+	if err == nil {
+		t.Fatal("invariant checker missed a forward from a younger store")
+	}
+	if !strings.Contains(err.Error(), "younger store") {
+		t.Fatalf("violation %q does not name the younger-store rule", err)
+	}
+}
+
+// TestNoForwardFromYoungerStoreWhenSound: the same trace on the
+// unmodified core must not forward at all (the only matching store is
+// younger), and the checker must stay silent.
+func TestNoForwardFromYoungerStoreWhenSound(t *testing.T) {
+	stats, inv := runWithInvariants(t, youngerStoreTrace(), false)
+	if stats.LoadForwarded != 0 {
+		t.Fatalf("load forwarded %d times; the only candidate store is younger", stats.LoadForwarded)
+	}
+	if err := inv.Err(); err != nil {
+		t.Fatalf("checker flagged a sound run: %v", err)
+	}
+	if stats.Retired != 3 {
+		t.Fatalf("retired %d, want 3", stats.Retired)
+	}
+}
+
+// TestLegalForwardPassesChecker: with the store older than the load,
+// forwarding is correct behaviour and must not trip the checker.
+func TestLegalForwardPassesChecker(t *testing.T) {
+	stats, inv := runWithInvariants(t, olderStoreTrace(), false)
+	if stats.LoadForwarded != 1 {
+		t.Fatalf("LoadForwarded = %d, want 1 (older store to same doubleword)", stats.LoadForwarded)
+	}
+	if err := inv.Err(); err != nil {
+		t.Fatalf("checker flagged legal forwarding: %v", err)
+	}
+}

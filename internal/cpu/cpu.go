@@ -34,6 +34,26 @@ type DataMemory interface {
 	StoreBufferProbe(addr uint64) bool
 }
 
+// Checker observes the core's architectural events for validation.
+// Install one with SetChecker; the default nil checker costs a single
+// predictable branch per event site and zero allocations, so the hot
+// loop is unaffected when checking is off. Implementations live in
+// internal/check — the core knows only this interface, which keeps the
+// dependency pointing outward.
+type Checker interface {
+	// Retire is called once per retired instruction, in retirement
+	// order, with the entry's window sequence number.
+	Retire(now mem.Cycle, inst isa.Inst, seq uint64)
+	// Forward is called when a load is satisfied by store-to-load
+	// forwarding. storeSeq and storeAddr identify the forwarding store;
+	// storeSeq == 0 means the match came from the L1 store buffer
+	// (already retired, necessarily older than any window load).
+	Forward(now mem.Cycle, loadSeq, loadAddr, storeSeq, storeAddr uint64)
+	// EndCycle is called at the end of every Step, after all pipeline
+	// stages have run.
+	EndCycle(now mem.Cycle)
+}
+
 // Config parameterizes the core. The zero value is invalid; use
 // DefaultConfig.
 type Config struct {
@@ -278,6 +298,18 @@ type CPU struct {
 	stop      *atomic.Bool
 	maxCycles uint64
 	stopped   bool
+
+	// checker, when non-nil, observes retirements, forwarding events,
+	// and cycle boundaries (SetChecker). Every call site is guarded by a
+	// nil test so the disabled path adds no allocation and essentially
+	// no time to the hot loop.
+	checker Checker
+
+	// debugForwardYounger deliberately breaks the store-to-load
+	// forwarding age filter, letting loads forward from *younger*
+	// stores. It exists only so tests can prove the invariant checker
+	// catches the violation; see export_test.go.
+	debugForwardYounger bool
 }
 
 // budgetCheckInterval is how many cycles pass between budget polls in
@@ -482,6 +514,11 @@ func (c *CPU) budgetExhausted() bool {
 // without disturbing microarchitectural state.
 func (c *CPU) ResetStats() { c.stats = Stats{} }
 
+// SetChecker installs (or, with nil, removes) an event checker. The
+// core never calls into a nil checker, so the disabled configuration
+// keeps the hot loop allocation-free.
+func (c *CPU) SetChecker(ck Checker) { c.checker = ck }
+
 // Step simulates one processor cycle.
 func (c *CPU) Step() {
 	c.now++
@@ -504,6 +541,9 @@ func (c *CPU) Step() {
 	c.stats.IssuedHistogram[issued]++
 	c.stats.WindowOccupancySum += uint64(c.count)
 	c.stats.LSQOccupancySum += uint64(c.lsqCount)
+	if c.checker != nil {
+		c.checker.EndCycle(c.now)
+	}
 }
 
 // Snapshot summarizes the microarchitectural state at the current
@@ -685,6 +725,9 @@ func (c *CPU) retire() {
 		case isa.Load:
 			c.lsqCount--
 		}
+		if c.checker != nil {
+			c.checker.Retire(c.now, e.inst, e.seq)
+		}
 		c.stats.Retired++
 		c.head++
 		if c.head == len(c.rob) {
@@ -796,7 +839,8 @@ func (c *CPU) memoryAccess() {
 			// address calculation).
 			continue
 		}
-		switch c.forwardingState(e.seq, e.inst.Addr) {
+		fwd, fwdSeq, fwdAddr := c.forwardingState(e.seq, e.inst.Addr)
+		switch fwd {
 		case fwdHit:
 			e.doneAt = c.now + 1
 			c.state[p] = stExecuting
@@ -804,6 +848,9 @@ func (c *CPU) memoryAccess() {
 			c.portCount--
 			c.pushWheel(p, e.doneAt)
 			c.stats.LoadForwarded++
+			if c.checker != nil {
+				c.checker.Forward(c.now, e.seq, e.inst.Addr, fwdSeq, fwdAddr)
+			}
 			continue
 		case fwdBlocked:
 			return // in-order access: younger loads wait too
@@ -837,24 +884,26 @@ const (
 // forwardingState scans older stores in the window for an overlap with
 // the load's 8-byte block, youngest first (storeSeqs is in program
 // order, so the walk runs from the back, skipping stores younger than
-// the load).
-func (c *CPU) forwardingState(loadSeq uint64, addr uint64) fwdResult {
+// the load). On fwdHit it also returns the forwarding store's sequence
+// number and address for the checker; a hit from the L1 store buffer
+// (already retired) reports sequence zero.
+func (c *CPU) forwardingState(loadSeq uint64, addr uint64) (fwdResult, uint64, uint64) {
 	block := addr >> 3
 	if c.storeBlkCnt[block&63] == 0 {
 		// No window store maps to this block's hash bucket, so the walk
 		// cannot find a match; only the L1 store buffer remains.
 		if c.l1 != nil {
 			if c.l1.StoreBufferProbe(addr) {
-				return fwdHit
+				return fwdHit, 0, addr
 			}
 		} else if c.dmem.StoreBufferProbe(addr) {
-			return fwdHit
+			return fwdHit, 0, addr
 		}
-		return fwdNone
+		return fwdNone, 0, 0
 	}
 	for i := c.storeSeqs.n - 1; i >= 0; i-- {
 		seq := c.storeSeqs.at(i)
-		if seq >= loadSeq {
+		if seq >= loadSeq && !c.debugForwardYounger {
 			continue
 		}
 		p := c.idx(seq)
@@ -865,19 +914,19 @@ func (c *CPU) forwardingState(loadSeq uint64, addr uint64) fwdResult {
 		// Youngest older matching store decides.
 		st := c.state[p]
 		if st == stDone || (st == stExecuting && e.doneAt <= c.now) {
-			return fwdHit
+			return fwdHit, seq, e.inst.Addr
 		}
-		return fwdBlocked
+		return fwdBlocked, 0, 0
 	}
 	// Retired stores awaiting drain in the L1 store buffer also forward.
 	if c.l1 != nil {
 		if c.l1.StoreBufferProbe(addr) {
-			return fwdHit
+			return fwdHit, 0, addr
 		}
 	} else if c.dmem.StoreBufferProbe(addr) {
-		return fwdHit
+		return fwdHit, 0, addr
 	}
-	return fwdNone
+	return fwdNone, 0, 0
 }
 
 // dispatch brings instructions from the trace into the window, stopping
@@ -988,4 +1037,191 @@ func (c *CPU) insert(inst *isa.Inst) {
 			c.stats.Mispredicts++
 		}
 	}
+}
+
+// hasBit reports whether slot i's bit is set in a window bitset.
+func hasBit(m []uint64, i int) bool { return m[i>>6]>>uint(i&63)&1 == 1 }
+
+// CheckInvariants exhaustively cross-checks the core's redundant
+// microarchitectural state against a from-scratch recount of the
+// window: every fast-path summary the hot loop maintains incrementally
+// (LSQ occupancy, the store sequence ring and its block-count filter,
+// the ready/port bitsets and their popcount caches, the wakeup
+// subscriptions, and the completion timing wheel) must agree with the
+// entries themselves. It is O(window) plus the wheel and wake arrays
+// and allocates, so it is only called from checkers (see SetChecker) —
+// never from the hot loop itself.
+//
+// The checked invariants, any of whose failure means timing results
+// cannot be trusted:
+//   - window occupancy and head within bounds; live entries carry
+//     consecutive sequence numbers from headSeq (ROB order);
+//   - lsqCount equals the number of live loads and stores, within
+//     LSQSize;
+//   - storeSeqs lists exactly the live stores, in ascending program
+//     order, and storeBlkCnt matches a recount of their hashed blocks
+//     (drift here silently corrupts store-to-load forwarding);
+//   - readyCount/portCount equal their masks' popcounts; mask bits sit
+//     only on live slots in the matching state (ready implies waiting
+//     with zero outstanding operands, port implies a load awaiting a
+//     port), and no bits exist beyond the window;
+//   - wake subscriptions point only from live producers to live,
+//     still-waiting consumers with outstanding operands;
+//   - the timing wheel links exactly the executing entries, each
+//     exactly once, with strictly future completion cycles.
+func (c *CPU) CheckInvariants() error {
+	w := len(c.rob)
+	if c.count < 0 || c.count > w {
+		return fmt.Errorf("cpu: window count %d outside [0,%d]", c.count, w)
+	}
+	if c.head < 0 || c.head >= w {
+		return fmt.Errorf("cpu: window head %d outside [0,%d)", c.head, w)
+	}
+	if c.nextSeq != c.headSeq+uint64(c.count) {
+		return fmt.Errorf("cpu: nextSeq %d != headSeq %d + count %d", c.nextSeq, c.headSeq, c.count)
+	}
+
+	live := make([]bool, w)
+	var lsq, stores, executing int
+	var blkCnt [64]uint8
+	pos := c.head
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[pos]
+		live[pos] = true
+		if want := c.headSeq + uint64(i); e.seq != want {
+			return fmt.Errorf("cpu: slot %d holds seq %d, ROB order requires %d", pos, e.seq, want)
+		}
+		switch e.inst.Op {
+		case isa.Load, isa.Store:
+			lsq++
+		}
+		if e.inst.Op == isa.Store {
+			stores++
+			blkCnt[(e.inst.Addr>>3)&63]++
+		}
+		switch st := c.state[pos]; st {
+		case stWaiting:
+			if c.nready[pos] == 0 && !hasBit(c.readyMask, pos) {
+				return fmt.Errorf("cpu: seq %d waiting with all operands ready but absent from ready mask", e.seq)
+			}
+		case stExecuting:
+			executing++
+		case stWantPort:
+			if !hasBit(c.portMask, pos) {
+				return fmt.Errorf("cpu: seq %d wants a port but is absent from port mask", e.seq)
+			}
+		case stDone:
+			if e.doneAt > c.now {
+				return fmt.Errorf("cpu: seq %d done at cycle %d but its result arrives at %d", e.seq, c.now, e.doneAt)
+			}
+		default:
+			return fmt.Errorf("cpu: seq %d in unknown state %d", e.seq, st)
+		}
+		if pos++; pos == w {
+			pos = 0
+		}
+	}
+
+	if lsq != c.lsqCount {
+		return fmt.Errorf("cpu: lsqCount %d but window holds %d memory ops", c.lsqCount, lsq)
+	}
+	if c.lsqCount > c.cfg.LSQSize {
+		return fmt.Errorf("cpu: lsqCount %d exceeds LSQ size %d", c.lsqCount, c.cfg.LSQSize)
+	}
+	if stores != c.storeSeqs.n {
+		return fmt.Errorf("cpu: store ring holds %d seqs but window holds %d stores", c.storeSeqs.n, stores)
+	}
+	for i := 0; i < c.storeSeqs.n; i++ {
+		seq := c.storeSeqs.at(i)
+		if seq < c.headSeq || seq >= c.nextSeq {
+			return fmt.Errorf("cpu: store ring seq %d outside live window [%d,%d)", seq, c.headSeq, c.nextSeq)
+		}
+		if i > 0 && seq <= c.storeSeqs.at(i-1) {
+			return fmt.Errorf("cpu: store ring out of program order: seq %d after %d", seq, c.storeSeqs.at(i-1))
+		}
+		if op := c.rob[c.idx(seq)].inst.Op; op != isa.Store {
+			return fmt.Errorf("cpu: store ring seq %d is a %v, not a store", seq, op)
+		}
+	}
+	if blkCnt != c.storeBlkCnt {
+		return fmt.Errorf("cpu: store block-count filter diverged from window recount")
+	}
+
+	ready, port := 0, 0
+	for wi := 0; wi < c.maskWords; wi++ {
+		ready += bits.OnesCount64(c.readyMask[wi])
+		port += bits.OnesCount64(c.portMask[wi])
+	}
+	if ready != c.readyCount {
+		return fmt.Errorf("cpu: readyCount %d but ready mask popcount %d", c.readyCount, ready)
+	}
+	if port != c.portCount {
+		return fmt.Errorf("cpu: portCount %d but port mask popcount %d", c.portCount, port)
+	}
+	for i := 0; i < c.maskWords*64; i++ {
+		rb, pb := false, false
+		if i < w {
+			rb, pb = hasBit(c.readyMask, i), hasBit(c.portMask, i)
+		} else {
+			// Bits beyond the window would corrupt gather's walks.
+			if c.readyMask[i>>6]>>uint(i&63)&1 == 1 || c.portMask[i>>6]>>uint(i&63)&1 == 1 {
+				return fmt.Errorf("cpu: mask bit %d set beyond the %d-entry window", i, w)
+			}
+			continue
+		}
+		if rb {
+			if !live[i] || c.state[i] != stWaiting || c.nready[i] != 0 {
+				return fmt.Errorf("cpu: ready mask bit on slot %d (live=%v state=%d nready=%d)", i, live[i], c.state[i], c.nready[i])
+			}
+		}
+		if pb {
+			if !live[i] || c.state[i] != stWantPort {
+				return fmt.Errorf("cpu: port mask bit on slot %d (live=%v state=%d)", i, live[i], c.state[i])
+			}
+			if c.rob[i].inst.Op != isa.Load {
+				return fmt.Errorf("cpu: non-load seq %d waiting for a cache port", c.rob[i].seq)
+			}
+		}
+	}
+
+	for p := 0; p < w; p++ {
+		words := c.wake[p*c.maskWords : (p+1)*c.maskWords]
+		for wi, m := range words {
+			for m != 0 {
+				t := wi<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				if !live[p] {
+					return fmt.Errorf("cpu: dead slot %d still wakes slot %d", p, t)
+				}
+				if t >= w || !live[t] || c.state[t] != stWaiting || c.nready[t] == 0 {
+					return fmt.Errorf("cpu: wake edge %d->%d to a slot not awaiting operands", p, t)
+				}
+			}
+		}
+	}
+
+	inWheel := make([]bool, w)
+	wheeled := 0
+	for b := range c.wheelHead {
+		for p := c.wheelHead[b]; p >= 0; p = c.wheelNext[p] {
+			if int(p) >= w {
+				return fmt.Errorf("cpu: wheel bucket %d links slot %d beyond the window", b, p)
+			}
+			if inWheel[p] {
+				return fmt.Errorf("cpu: slot %d linked twice in the timing wheel", p)
+			}
+			inWheel[p] = true
+			wheeled++
+			if !live[p] || c.state[p] != stExecuting {
+				return fmt.Errorf("cpu: wheel links slot %d (live=%v state=%d), want an executing entry", p, live[p], c.state[p])
+			}
+			if c.rob[p].doneAt <= c.now {
+				return fmt.Errorf("cpu: seq %d still wheeled at cycle %d with completion %d overdue", c.rob[p].seq, c.now, c.rob[p].doneAt)
+			}
+		}
+	}
+	if wheeled != executing {
+		return fmt.Errorf("cpu: timing wheel links %d entries but %d are executing", wheeled, executing)
+	}
+	return nil
 }

@@ -1,0 +1,6 @@
+package cpu
+
+// SetForwardBugForTest deliberately breaks the store-to-load forwarding
+// age filter so loads may forward from younger stores — an ordering
+// violation the invariant checker must catch. Tests only.
+func SetForwardBugForTest(c *CPU, on bool) { c.debugForwardYounger = on }

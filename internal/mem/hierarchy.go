@@ -157,6 +157,14 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	return sys, nil
 }
 
+// CheckInvariants cross-checks the hierarchy's redundant bookkeeping
+// (currently all of it lives in the primary cache: store buffer
+// filter, MSHR file, line buffer, port scheduler). Called per cycle by
+// the invariant checker in internal/check.
+func (s *System) CheckInvariants() error {
+	return s.L1.CheckInvariants()
+}
+
 // WarmTouch brings addr's line into every level's tag array without
 // charging time: misses at L1 touch the level below, as a real fill
 // would. Used to pre-warm the hierarchy to steady state before a

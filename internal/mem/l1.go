@@ -597,6 +597,38 @@ func (c *L1Cache) StoreMisses() uint64 { return c.storeMisses.Value() }
 // MSHRs exposes the MSHR file for statistics.
 func (c *L1Cache) MSHRs() *MSHRFile { return c.mshrs }
 
+// CheckInvariants cross-checks the cache's redundant bookkeeping: the
+// store buffer's block-count filter against a recount of the ring
+// (silent drift there corrupts store-to-load forwarding), occupancy
+// within capacity, and the MSHR file, line buffer, and port scheduler
+// invariants. It allocates nothing but is O(capacity) in the small
+// structures, so it is called only from checkers, never the hot path.
+func (c *L1Cache) CheckInvariants() error {
+	if c.storeLen < 0 || c.storeLen > len(c.storeBuf) {
+		return fmt.Errorf("mem: store buffer occupancy %d outside [0,%d]", c.storeLen, len(c.storeBuf))
+	}
+	var blk [64]uint8
+	i := c.storeHead
+	for n := 0; n < c.storeLen; n++ {
+		blk[(c.storeBuf[i]>>3)&63]++
+		if i++; i == len(c.storeBuf) {
+			i = 0
+		}
+	}
+	if blk != c.sbBlkCnt {
+		return fmt.Errorf("mem: store buffer block-count filter diverged from ring recount")
+	}
+	if err := c.mshrs.CheckInvariants(); err != nil {
+		return err
+	}
+	if c.lb != nil {
+		if err := c.lb.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return c.ports.checkInvariants()
+}
+
 // WarmTouch brings addr's line into the tag array without charging time
 // or statistics. It reports whether the line was already present. Used
 // to pre-warm caches to steady state before a measured run, standing in

@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // LineBuffer models the small fully-set-associative multi-ported
 // level-zero cache located within the processor's load/store execution
 // unit [Wils96]. A load that hits in the line buffer returns its data in
@@ -120,3 +122,21 @@ func (b *LineBuffer) Lookups() uint64 { return b.lookups.Value() }
 
 // Fills returns the number of new blocks inserted.
 func (b *LineBuffer) Fills() uint64 { return b.fills.Value() }
+
+// CheckInvariants verifies the buffer's resident set is internally
+// consistent: occupancy within capacity and no block resident twice.
+// A duplicate block would make hit behaviour depend on MRU position
+// and silently double-count the buffer's effective capacity.
+func (b *LineBuffer) CheckInvariants() error {
+	if b.n < 0 || b.n > len(b.blocks) {
+		return fmt.Errorf("mem: line buffer occupancy %d outside [0,%d]", b.n, len(b.blocks))
+	}
+	for i := 0; i < b.n; i++ {
+		for j := i + 1; j < b.n; j++ {
+			if b.blocks[i] == b.blocks[j] {
+				return fmt.Errorf("mem: line buffer holds block %#x twice (slots %d and %d)", b.blocks[i], i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // MSHRFile models the miss status handling registers that make the
 // primary data cache lockup-free [Fark94, Krof81]. The paper's
 // configuration has four MSHRs in the primary data cache, supporting
@@ -118,3 +120,32 @@ func (m *MSHRFile) SecondaryMisses() uint64 { return m.secondary.Value() }
 
 // FullStalls returns how many times an access found the file full.
 func (m *MSHRFile) FullStalls() uint64 { return m.full.Value() }
+
+// CheckInvariants cross-checks the file's redundant state: the liveN
+// fast-path counter must equal a recount of the live flags and stay
+// within capacity, and no two live registers may track the same line
+// (a second miss to an in-flight line must merge, never allocate).
+// Entries whose fills have completed but have not been lazily swept are
+// legal — expiry is deferred by design — so only flag consistency is
+// checked, not doneness.
+func (m *MSHRFile) CheckInvariants() error {
+	n := 0
+	for i := range m.entries {
+		if !m.entries[i].live {
+			continue
+		}
+		n++
+		for j := i + 1; j < len(m.entries); j++ {
+			if m.entries[j].live && m.entries[j].line == m.entries[i].line {
+				return fmt.Errorf("mem: MSHRs %d and %d both track line %#x", i, j, m.entries[i].line)
+			}
+		}
+	}
+	if n != m.liveN {
+		return fmt.Errorf("mem: MSHR liveN %d but %d live registers", m.liveN, n)
+	}
+	if m.liveN > len(m.entries) {
+		return fmt.Errorf("mem: MSHR liveN %d exceeds capacity %d", m.liveN, len(m.entries))
+	}
+	return nil
+}

@@ -121,6 +121,11 @@ type portScheduler struct {
 	cycle    Cycle
 	used     int    // ports used this cycle (ideal/duplicate)
 	bankBusy []bool // per-bank usage this cycle (banked)
+	// grants tallies this cycle's successful grants in port-equivalents
+	// (a duplicate-cache store writes both copies and counts two),
+	// independently of used/bankBusy, so checkInvariants can cross-check
+	// the arbitration state against what was actually handed out.
+	grants int
 
 	loadGrants    Counter
 	storeGrants   Counter
@@ -154,6 +159,7 @@ func (p *portScheduler) advance(now Cycle) {
 	}
 	p.cycle = now
 	p.used = 0
+	p.grants = 0
 	for i := range p.bankBusy {
 		p.bankBusy[i] = false
 	}
@@ -187,6 +193,7 @@ func (p *portScheduler) tryLoad(now Cycle, addr uint64) bool {
 		}
 		p.bankBusy[b] = true
 	}
+	p.grants++
 	p.loadGrants.Inc()
 	return true
 }
@@ -202,17 +209,20 @@ func (p *portScheduler) tryStore(now Cycle, addr uint64) bool {
 			return false
 		}
 		p.used++
+		p.grants++
 	case DuplicatePorts:
 		if p.used != 0 {
 			return false
 		}
 		p.used = 2
+		p.grants += 2
 	case BankedPorts:
 		b := p.bankOf(addr)
 		if p.bankBusy[b] {
 			return false
 		}
 		p.bankBusy[b] = true
+		p.grants++
 	}
 	p.storeGrants.Inc()
 	return true
@@ -229,3 +239,37 @@ func (p *portScheduler) PortConflicts() uint64 { return p.portConflicts.Value() 
 
 // BankConflicts returns load retries due to bank conflicts.
 func (p *portScheduler) BankConflicts() uint64 { return p.bankConflicts.Value() }
+
+// checkInvariants verifies the current cycle's arbitration never handed
+// out more bandwidth than the organization has: the independent grant
+// tally must stay within the configured port (or bank) count and agree
+// with the used/bankBusy state the grant decisions were made from.
+func (p *portScheduler) checkInvariants() error {
+	switch p.cfg.Kind {
+	case IdealPorts, DuplicatePorts:
+		limit := p.cfg.Count
+		if p.cfg.Kind == DuplicatePorts {
+			limit = 2
+		}
+		if p.grants > limit {
+			return fmt.Errorf("mem: %d port grants in cycle %d exceed the %d-port organization", p.grants, p.cycle, limit)
+		}
+		if p.grants != p.used {
+			return fmt.Errorf("mem: port grant tally %d disagrees with used count %d in cycle %d", p.grants, p.used, p.cycle)
+		}
+	case BankedPorts:
+		busy := 0
+		for _, b := range p.bankBusy {
+			if b {
+				busy++
+			}
+		}
+		if p.grants > len(p.bankBusy) {
+			return fmt.Errorf("mem: %d bank grants in cycle %d exceed the %d banks", p.grants, p.cycle, len(p.bankBusy))
+		}
+		if p.grants != busy {
+			return fmt.Errorf("mem: bank grant tally %d disagrees with %d busy banks in cycle %d", p.grants, busy, p.cycle)
+		}
+	}
+	return nil
+}

@@ -174,6 +174,9 @@ func TestRetryableClassification(t *testing.T) {
 		sim.ErrAborted,
 		fmt.Errorf("runner: gcc: %w", sim.ErrBudget),
 		fmt.Errorf("%w: unknown benchmark", sim.ErrInvalidConfig),
+		// An invariant violation is deterministic — retrying replays the
+		// identical broken machine.
+		fmt.Errorf("%w: cycle 42: rob retired out of order", sim.ErrCheckFailed),
 	}
 	for _, err := range retryable {
 		if !Retryable(err) {

@@ -57,6 +57,11 @@ type Options struct {
 	// SimMaxCycles caps each simulation attempt's simulated cycles
 	// (sim.RunOpts.MaxCycles). Zero means uncapped.
 	SimMaxCycles uint64
+	// SimCheck runs every simulation with the cycle-level invariant
+	// checker installed (sim.RunOpts.Check). Roughly an order of
+	// magnitude slower; a violation fails the job with
+	// sim.ErrCheckFailed, which is fatal (deterministic), not retried.
+	SimCheck bool
 	// Faults, when non-nil, is the chaos registry threaded through the
 	// simulator and the disk cache's fault sites.
 	Faults *fault.Registry
@@ -85,7 +90,8 @@ func Retryable(err error) bool {
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, sim.ErrAborted),
 		errors.Is(err, sim.ErrBudget),
-		errors.Is(err, sim.ErrInvalidConfig):
+		errors.Is(err, sim.ErrInvalidConfig),
+		errors.Is(err, sim.ErrCheckFailed):
 		return false
 	}
 	return true
@@ -176,6 +182,7 @@ func New(opts Options) (*Runner, error) {
 			MaxCycles: opts.SimMaxCycles,
 			Timeout:   opts.SimTimeout,
 			Faults:    opts.Faults,
+			Check:     opts.SimCheck,
 		}
 		simFn = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 			return sim.RunContext(ctx, cfg, runOpts)

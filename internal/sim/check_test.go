@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"hbcache/internal/workload"
+)
+
+func checkedConfig(bench string) Config {
+	cfg := baseConfig(bench)
+	cfg.PrewarmInsts = 60_000
+	return cfg
+}
+
+// TestRunContextCheckCleanAllBenchmarks runs every workload model with
+// the cycle-level invariant checker enabled: a clean machine must
+// produce no violations on any of them.
+func TestRunContextCheckCleanAllBenchmarks(t *testing.T) {
+	for _, bench := range workload.BenchmarkNames() {
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			if _, err := RunContext(context.Background(), checkedConfig(bench), RunOpts{Check: true}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCheckDoesNotPerturbResults: the checker observes the machine; it
+// must not change what the machine does. A checked run and an
+// unchecked run of the same config must produce identical results.
+func TestCheckDoesNotPerturbResults(t *testing.T) {
+	cfg := checkedConfig("gcc")
+	plain, err := RunContext(context.Background(), cfg, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := RunContext(context.Background(), cfg, RunOpts{Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != checked {
+		t.Fatalf("checker perturbed the simulation:\nplain   %+v\nchecked %+v", plain, checked)
+	}
+}
+
+// TestCheckCoversTimedPrewarm exercises the checker through the timing
+// prewarm path too (PrewarmTiming steps the core through the prewarm
+// window, so violations there must also surface).
+func TestCheckCoversTimedPrewarm(t *testing.T) {
+	cfg := checkedConfig("li")
+	cfg.PrewarmInsts = 10_000
+	cfg.PrewarmMode = PrewarmTiming
+	if _, err := RunContext(context.Background(), cfg, RunOpts{Check: true}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/workload"
+)
+
+// FuzzRunContext drives the whole simulator — generator, out-of-order
+// core, memory hierarchy — across the configuration space with the
+// invariant checker enabled. The raw fuzz inputs are mapped onto
+// bounded, mostly-valid configurations so the fuzzer spends its budget
+// inside the machine rather than in Validate; configurations that are
+// nonetheless invalid must be rejected by Validate with
+// ErrInvalidConfig, and every valid one must simulate without
+// tripping an invariant.
+func FuzzRunContext(f *testing.F) {
+	f.Add(uint8(0), uint64(1), uint8(3), uint8(0), uint8(0), uint8(1), false, false, uint16(4000))
+	f.Add(uint8(1), uint64(2), uint8(0), uint8(1), uint8(1), uint8(0), true, false, uint16(0))
+	f.Add(uint8(3), uint64(7), uint8(5), uint8(2), uint8(2), uint8(2), false, false, uint16(9000))
+	f.Add(uint8(7), uint64(3), uint8(2), uint8(0), uint8(2), uint8(3), true, false, uint16(500))
+	f.Add(uint8(8), uint64(11), uint8(8), uint8(1), uint8(0), uint8(3), false, true, uint16(2000))
+	f.Add(uint8(5), uint64(5), uint8(4), uint8(2), uint8(1), uint8(1), true, true, uint16(7000))
+
+	benches := workload.BenchmarkNames()
+	f.Fuzz(func(t *testing.T, benchSel uint8, seed uint64, sizeExp, hitSel, portSel, portCnt uint8, lb, dram bool, extra uint16) {
+		bench := benches[int(benchSel)%len(benches)]
+		size := 1 << (12 + int(sizeExp)%9) // 4K .. 1M
+		hit := 1 + int(hitSel)%3
+		var ports mem.PortConfig
+		switch portSel % 3 {
+		case 0:
+			ports = mem.PortConfig{Kind: mem.IdealPorts, Count: 1 + int(portCnt)%4}
+		case 1:
+			ports = mem.PortConfig{Kind: mem.DuplicatePorts}
+		case 2:
+			ports = mem.PortConfig{Kind: mem.BankedPorts, Count: 2 << (int(portCnt) % 3)}
+		}
+		var memory mem.SystemConfig
+		if dram {
+			memory = mem.DefaultDRAMSystem(6+int(hitSel)%3, lb)
+		} else {
+			memory = mem.DefaultSRAMSystem(size, hit, ports, lb)
+		}
+		cfg := Config{
+			Benchmark:    bench,
+			Seed:         seed,
+			CPU:          cpu.DefaultConfig(),
+			Memory:       memory,
+			PrewarmInsts: 10_000,
+			WarmupInsts:  1_000,
+			MeasureInsts: 2_000 + uint64(extra),
+		}
+		if err := cfg.Validate(); err != nil {
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Validate returned a non-config error: %v", err)
+			}
+			return
+		}
+		res, err := RunContext(context.Background(), cfg, RunOpts{Check: true, MaxCycles: 3_000_000})
+		if err != nil {
+			if errors.Is(err, ErrBudget) {
+				return // pathological-but-legal point hit the cycle cap
+			}
+			t.Fatalf("config %+v failed: %v", cfg, err)
+		}
+		if res.Instructions < cfg.MeasureInsts {
+			t.Fatalf("measured %d of %d instructions", res.Instructions, cfg.MeasureInsts)
+		}
+		if res.Cycles == 0 {
+			t.Fatal("run completed in zero cycles")
+		}
+		width := float64(cfg.CPU.IssueWidth)
+		if res.IPC <= 0 || res.IPC > width {
+			t.Fatalf("IPC %.3f outside (0, %g]", res.IPC, width)
+		}
+		if res.MissesPerInst < 0 || res.MissesPerInst > 1 {
+			t.Fatalf("misses/inst %.4f outside [0, 1]", res.MissesPerInst)
+		}
+	})
+}

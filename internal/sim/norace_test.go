@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled mirrors the race detector's presence for tests that
+// scale their sweep breadth down under its ~10x slowdown.
+const raceEnabled = false

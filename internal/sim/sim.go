@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hbcache/internal/check"
 	"hbcache/internal/cpu"
 	"hbcache/internal/fault"
 	"hbcache/internal/fo4"
@@ -32,6 +33,11 @@ var (
 	// ErrInvalidConfig wraps configuration errors: the config can never
 	// simulate, no matter how often it is retried.
 	ErrInvalidConfig = errors.New("sim: invalid config")
+	// ErrCheckFailed means the run was executed with RunOpts.Check and
+	// the cycle-level invariant checker found a machine-state violation.
+	// The simulation's results are meaningless and the bug is
+	// deterministic — this is a simulator defect, not a transient.
+	ErrCheckFailed = errors.New("sim: invariant check failed")
 )
 
 // Config is one simulation run. The JSON field names are the stable
@@ -186,12 +192,30 @@ type RunOpts struct {
 	// simulation starts — chaos tests and failure rehearsal inject
 	// panics, hangs, delays, and errors there.
 	Faults *fault.Registry
+	// Check installs the cycle-level invariant checker on the core for
+	// the whole run (timed prewarm, warmup, and measurement). A
+	// violation stops the run immediately and fails it with
+	// ErrCheckFailed. Off by default: checking costs roughly an order
+	// of magnitude in simulation speed and the hot loop stays
+	// allocation-free only without it.
+	Check bool
 }
 
 // Run executes one simulation with no cancellation, budget, or fault
 // injection — the convenience form of RunContext.
 func Run(cfg Config) (Result, error) {
 	return RunContext(context.Background(), cfg, RunOpts{})
+}
+
+// checkErr converts a latched invariant violation into the run's
+// failure. The stop flag usually aborts the core first, but a
+// violation raised in the final budget-poll interval can let Run
+// finish normally — this catches that case.
+func checkErr(inv *check.Invariants) error {
+	if inv != nil && inv.Err() != nil {
+		return fmt.Errorf("%w: %v", ErrCheckFailed, inv.Err())
+	}
+	return nil
 }
 
 // RunContext executes one simulation under ctx. Cancellation is
@@ -253,9 +277,21 @@ func RunContext(ctx context.Context, cfg Config, opts RunOpts) (Result, error) {
 	}()
 	core.SetBudget(stop, opts.MaxCycles)
 
-	// abortErr names what stopped the run, in classification order: the
+	// The invariant checker shares the stop flag, so a violation halts
+	// the core within one budget-poll interval just like a cancellation.
+	var inv *check.Invariants
+	if opts.Check {
+		inv = check.NewInvariants(core, sys, stop)
+		core.SetChecker(inv)
+	}
+
+	// abortErr names what stopped the run, in classification order: an
+	// invariant violation (the run's results are meaningless), then the
 	// hard cycle cap, then the caller's context, then the wall budget.
 	abortErr := func() error {
+		if inv != nil && inv.Err() != nil {
+			return fmt.Errorf("%w: %v", ErrCheckFailed, inv.Err())
+		}
 		if opts.MaxCycles > 0 && uint64(core.Now()) >= opts.MaxCycles {
 			return fmt.Errorf("%w: cycle budget of %d exhausted", ErrBudget, opts.MaxCycles)
 		}
@@ -285,6 +321,9 @@ func RunContext(ctx context.Context, cfg Config, opts RunOpts) (Result, error) {
 		core.Run(prewarm)
 		if core.Stopped() {
 			return Result{}, abortErr()
+		}
+		if err := checkErr(inv); err != nil {
+			return Result{}, err
 		}
 	} else {
 		// Functional drain, in chunks so the generator's batch loop and
@@ -317,6 +356,9 @@ func RunContext(ctx context.Context, cfg Config, opts RunOpts) (Result, error) {
 	if core.Stopped() {
 		return Result{}, abortErr()
 	}
+	if err := checkErr(inv); err != nil {
+		return Result{}, err
+	}
 	preLoads := sys.L1.Loads()
 	preLoadMiss := sys.L1.LoadMisses()
 	preStoreMiss := sys.L1.StoreMisses()
@@ -329,6 +371,9 @@ func RunContext(ctx context.Context, cfg Config, opts RunOpts) (Result, error) {
 	s := core.Run(measure)
 	if core.Stopped() {
 		return Result{}, abortErr()
+	}
+	if err := checkErr(inv); err != nil {
+		return Result{}, err
 	}
 
 	res := Result{
