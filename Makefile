@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build bin test race vet fmt verify bench serve chaos cover fuzz
+.PHONY: build bin test race vet fmt verify bench serve chaos cover fuzz cluster
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ test:
 # concurrency-sensitive packages; run them under the race detector in
 # addition to the plain suite.
 race:
-	$(GO) test -race ./internal/fault ./internal/runner ./internal/sim ./internal/service ./cmd/hbserved
+	$(GO) test -race ./internal/fault ./internal/runner ./internal/sim ./internal/service ./internal/cluster ./cmd/hbserved
 
 # Fault-injection suite under the race detector: every fault kind fired
 # into the runner and service, asserting bounded recovery (workers
@@ -33,6 +33,14 @@ race:
 # always live.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|CrashSafety' ./internal/runner ./internal/service
+
+# Distributed-sweep smoke test: builds the server binary, spawns a
+# coordinator and two worker processes, runs a real sweep through the
+# fabric (checking byte-identical results and cluster-wide
+# exactly-once), then SIGKILLs a worker mid-sweep and checks the sweep
+# still completes. -count=1 keeps the processes honest on every run.
+cluster:
+	$(GO) test -count=1 -v -run 'TestClusterE2E' ./cmd/hbserved
 
 # Run the simulation service locally with sensible dev defaults.
 serve:

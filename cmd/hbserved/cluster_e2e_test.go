@@ -1,0 +1,379 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/service"
+	"hbcache/internal/sim"
+)
+
+// The cluster e2e tests exercise the real thing: separate hbserved
+// processes for coordinator and workers, real HTTP between them, and a
+// real SIGKILL. They are the acceptance test for the distributed sweep
+// fabric, so they build the binary once per test run.
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "hbserved-e2e-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "hbserved")
+		out, err := exec.Command("go", "build", "-o", buildBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// proc is one spawned hbserved process.
+type proc struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port once the listen line appears
+	stderr *bytes.Buffer
+}
+
+// startProc launches the binary and waits for its listen line.
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{stderr: &bytes.Buffer{}}
+	p.cmd = exec.Command(bin, args...)
+	p.cmd.Stderr = p.stderr
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			_ = p.cmd.Process.Kill()
+			_ = p.cmd.Wait()
+		}
+	})
+
+	lineCh := make(chan string, 1)
+	go func() {
+		line, _ := bufio.NewReader(stdout).ReadString('\n')
+		lineCh <- line
+		// Keep draining so the child never blocks on a full pipe.
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case line := <-lineCh:
+		addr := strings.TrimSpace(strings.TrimPrefix(line, "listening on "))
+		if addr == "" {
+			t.Fatalf("no listen line from %v (stderr: %s)", args, p.stderr.String())
+		}
+		p.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("hbserved %v did not announce a listener (stderr: %s)", args, p.stderr.String())
+	}
+	return p
+}
+
+// kill delivers SIGKILL — the unclean death the fabric must absorb.
+func (p *proc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.cmd.Wait()
+}
+
+// freePort reserves an ephemeral port and releases it for a child
+// process to bind; the tiny reuse race is fine in tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func e2eConfig(i int, insts uint64) sim.Config {
+	return sim.Config{
+		Benchmark:    "gcc",
+		Seed:         uint64(i + 1),
+		CPU:          cpu.DefaultConfig(),
+		Memory:       mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true),
+		MeasureInsts: insts,
+	}
+}
+
+func submitSweep(t *testing.T, base string, cfgs []sim.Config) string {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"configs": cfgs})
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view service.SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || view.ID == "" {
+		t.Fatalf("sweep submit to %s = %d %+v", base, resp.StatusCode, view)
+	}
+	return view.ID
+}
+
+// awaitSweep polls until the sweep completes (or the deadline passes)
+// and returns its results.
+func awaitSweep(t *testing.T, base, id string, deadline time.Duration) service.SweepResults {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		resp, err := http.Get(base + "/v1/sweeps/" + id + "/results")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res service.SweepResults
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Complete {
+			return res
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("sweep %s incomplete after %v: %d/%d done, %d failed", id, deadline, res.Done, res.Total, res.Failed)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// scrapeCounter reads one (unlabeled) counter off a /metrics page.
+func scrapeCounter(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found on %s", name, base)
+	}
+	var v float64
+	fmt.Sscanf(string(m[1]), "%g", &v)
+	return v
+}
+
+// TestClusterE2E is the fabric acceptance test: a coordinator over two
+// worker processes must produce byte-identical results to a
+// single-process server, simulate each unique config exactly once
+// cluster-wide, and expose a fleet-aware readiness endpoint.
+func TestClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; skipped in -short")
+	}
+	bin := binary(t)
+
+	coordAddr := freePort(t)
+	coordURL := "http://" + coordAddr
+	w1 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2", "-store", "remote", "-store-url", coordURL)
+	w2 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2", "-store", "remote", "-store-url", coordURL)
+	coord := startProc(t, bin,
+		"-addr", coordAddr,
+		"-role", "coordinator",
+		"-workers", w1.base+","+w2.base,
+	)
+	single := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2")
+
+	// 8 unique points plus 2 in-sweep duplicates.
+	cfgs := make([]sim.Config, 0, 10)
+	for i := 0; i < 8; i++ {
+		cfgs = append(cfgs, e2eConfig(i, 20000))
+	}
+	cfgs = append(cfgs, e2eConfig(0, 20000), e2eConfig(3, 20000))
+
+	clusterRes := awaitSweep(t, coord.base, submitSweep(t, coord.base, cfgs), 2*time.Minute)
+	singleRes := awaitSweep(t, single.base, submitSweep(t, single.base, cfgs), 2*time.Minute)
+
+	if clusterRes.Failed != 0 || singleRes.Failed != 0 {
+		t.Fatalf("failures: cluster=%d single=%d, want 0", clusterRes.Failed, singleRes.Failed)
+	}
+	for i := range cfgs {
+		cp, sp := clusterRes.Points[i], singleRes.Points[i]
+		if cp.Result == nil || sp.Result == nil {
+			t.Fatalf("point %d missing a result: cluster=%v single=%v", i, cp.Result, sp.Result)
+		}
+		// Byte-identical: the distributed path must not perturb the
+		// simulation, only relocate it.
+		cb, _ := json.Marshal(cp.Result)
+		sb, _ := json.Marshal(sp.Result)
+		if !bytes.Equal(cb, sb) {
+			t.Errorf("point %d differs across paths:\ncluster: %s\nsingle:  %s", i, cb, sb)
+		}
+	}
+
+	// Exactly-once, cluster-wide: the fleet's simulators ran once per
+	// unique config; duplicates were deduplicated, not re-run.
+	sims := scrapeCounter(t, w1.base, "hbserved_runner_simulated_total") +
+		scrapeCounter(t, w2.base, "hbserved_runner_simulated_total")
+	if sims != 8 {
+		t.Errorf("fleet simulated %v times, want exactly 8 (one per unique config)", sims)
+	}
+
+	// Resubmitting the whole sweep costs zero new simulations: the
+	// coordinator's store and dedup layers answer everything.
+	rerun := awaitSweep(t, coord.base, submitSweep(t, coord.base, cfgs), time.Minute)
+	if rerun.Failed != 0 {
+		t.Fatalf("rerun failed %d points", rerun.Failed)
+	}
+	sims2 := scrapeCounter(t, w1.base, "hbserved_runner_simulated_total") +
+		scrapeCounter(t, w2.base, "hbserved_runner_simulated_total")
+	if sims2 != sims {
+		t.Errorf("rerun consumed %v extra simulations, want 0", sims2-sims)
+	}
+
+	// Fleet-aware readiness on the coordinator.
+	var rd struct {
+		Ready   bool `json:"ready"`
+		Cluster *struct {
+			Reachable int `json:"reachable"`
+			Total     int `json:"total"`
+		} `json:"cluster"`
+	}
+	resp, err := http.Get(coord.base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rd)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !rd.Ready {
+		t.Errorf("coordinator readyz = %d %+v, want ready", resp.StatusCode, rd)
+	}
+	if rd.Cluster == nil || rd.Cluster.Reachable != 2 || rd.Cluster.Total != 2 {
+		t.Errorf("coordinator cluster block = %+v, want 2/2 reachable", rd.Cluster)
+	}
+}
+
+// TestClusterE2EWorkerKill kills one worker process with SIGKILL while
+// a sweep is in flight; the fabric must reassign its points and finish
+// the sweep with zero failures.
+func TestClusterE2EWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; skipped in -short")
+	}
+	bin := binary(t)
+
+	coordAddr := freePort(t)
+	coordURL := "http://" + coordAddr
+	w1 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2", "-store", "remote", "-store-url", coordURL)
+	w2 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2", "-store", "remote", "-store-url", coordURL)
+	coord := startProc(t, bin,
+		"-addr", coordAddr,
+		"-role", "coordinator",
+		"-workers", w1.base+","+w2.base,
+		"-breaker-threshold", "2",
+	)
+
+	// Enough work, slow enough, that the kill lands mid-sweep.
+	cfgs := make([]sim.Config, 24)
+	for i := range cfgs {
+		cfgs[i] = e2eConfig(i+100, 200000)
+	}
+	id := submitSweep(t, coord.base, cfgs)
+
+	// Wait until the sweep is demonstrably in flight, then murder w2.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if scrapeCounter(t, coord.base, "hbserved_runner_done_total") > 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never got going")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w2.kill(t)
+
+	res := awaitSweep(t, coord.base, id, 3*time.Minute)
+	if res.Failed != 0 {
+		for _, p := range res.Points {
+			if p.Error != "" {
+				t.Logf("point error: %s", p.Error)
+			}
+		}
+		t.Fatalf("sweep failed %d/%d points after worker kill", res.Failed, res.Total)
+	}
+	for i, p := range res.Points {
+		if p.Result == nil || p.Result.Instructions == 0 {
+			t.Errorf("point %d has no real result after failover: %+v", i, p)
+		}
+	}
+
+	// The survivor absorbed work and the dead worker is reported down.
+	var rd struct {
+		Cluster *struct {
+			Workers []service.WorkerStatus `json:"workers"`
+		} `json:"cluster"`
+	}
+	resp, err := http.Get(coord.base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rd)
+	resp.Body.Close()
+	if err != nil || rd.Cluster == nil {
+		t.Fatalf("readyz after kill: err=%v cluster=%v", err, rd.Cluster)
+	}
+	byURL := map[string]service.WorkerStatus{}
+	for _, w := range rd.Cluster.Workers {
+		byURL[w.URL] = w
+	}
+	if w := byURL[w2.base]; w.Healthy {
+		t.Errorf("killed worker still reported healthy: %+v", w)
+	}
+	if w := byURL[w1.base]; w.Completed == 0 {
+		t.Errorf("surviving worker completed nothing: %+v", w)
+	}
+	if !reflect.DeepEqual(len(rd.Cluster.Workers), 2) {
+		t.Errorf("fleet size = %d, want 2", len(rd.Cluster.Workers))
+	}
+}

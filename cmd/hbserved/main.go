@@ -6,8 +6,18 @@
 //
 //	hbserved -addr :8080 -cache-dir ~/.hbcache -j 16 -queue 256
 //
+// The same binary also forms a distributed sweep fabric. A worker is a
+// plain hbserved pointed at the coordinator's shared result store; a
+// coordinator accepts the same API but dispatches every simulation to
+// its fleet instead of running it locally:
+//
+//	hbserved -role coordinator -addr :8080 \
+//	    -workers http://w1:8081,http://w2:8081
+//	hbserved -addr :8081 -store remote -store-url http://coord:8080   # on each worker
+//
 // The API lives under /v1 (see internal/service for the full route
-// table); /healthz answers liveness probes and /metrics exports
+// table); /healthz answers liveness probes, /readyz readiness (queue
+// pressure, breaker state, reachable workers), and /metrics exports
 // Prometheus gauges, counters, and a job-latency histogram. On SIGTERM
 // or Ctrl-C the server stops accepting new jobs (503), finishes every
 // job already accepted, then exits — so an orchestrator's rolling
@@ -24,12 +34,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hbcache/internal/cluster"
 	"hbcache/internal/fault"
 	"hbcache/internal/runner"
 	"hbcache/internal/service"
+	"hbcache/internal/sim"
 )
 
 func main() {
@@ -37,6 +50,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hbserved:", err)
 		os.Exit(1)
 	}
+}
+
+// splitURLs parses a comma-separated -workers list, trimming blanks.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// clusterStatus maps the coordinator's fleet view onto the service's
+// readiness/metrics types — the glue that keeps the service package
+// from importing the cluster package.
+func clusterStatus(ctx context.Context, coord *cluster.Coordinator, probe bool) *service.ClusterStatus {
+	hs := coord.Health()
+	cs := &service.ClusterStatus{Total: len(hs)}
+	for _, h := range hs {
+		cs.Workers = append(cs.Workers, service.WorkerStatus{
+			URL:          h.URL,
+			Healthy:      h.Healthy,
+			Inflight:     h.Inflight,
+			Dispatched:   h.Dispatched,
+			Completed:    h.Completed,
+			Failed:       h.Failed,
+			Stolen:       h.Stolen,
+			Breaker:      h.Breaker,
+			BreakerOpens: h.BreakerOpens,
+		})
+	}
+	if probe {
+		cs.Reachable, cs.Total = coord.Reachable(ctx)
+		return cs
+	}
+	// No network on this path (/metrics): approximate reachability by
+	// breaker position.
+	for _, h := range hs {
+		if h.Healthy {
+			cs.Reachable++
+		}
+	}
+	return cs
 }
 
 // run is main without the process-global bits, so tests can drive a
@@ -60,6 +117,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		breakCool  = fs.Duration("breaker-cooldown", 0, "how long the breaker stays open before admitting a probe (0 = default 15s)")
 		sseTimeout = fs.Duration("sse-write-timeout", 0, "per-write deadline before a stalled SSE subscriber is dropped (0 = default 30s)")
 		faultSeed  = fs.Uint64("fault-seed", 1, "seed for the fault-injection registry (with -fault)")
+		role       = fs.String("role", "single", "single | worker | coordinator")
+		workerURLs = fs.String("workers", "", "comma-separated worker base URLs (coordinator role)")
+		storeKind  = fs.String("store", "auto", "result store backend: auto | disk | mem | remote | none")
+		storeURL   = fs.String("store-url", "", "base URL of a remote result store (with -store remote)")
+		hedgeAfter = fs.Duration("hedge-after", 0, "coordinator: duplicate a straggling point on a second worker after this long (0 = default 30s, negative = off)")
 	)
 	var faultRules []fault.Rule
 	fs.Func("fault", "inject a fault, repeatable: site:kind[:delay][:p=F][:skip=N][:limit=N] (e.g. sim.run:hang:limit=1)", func(v string) error {
@@ -91,9 +153,88 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "hbserved: fault injection armed: %d rule(s), seed %d\n", len(faultRules), *faultSeed)
 	}
 
+	fleet := splitURLs(*workerURLs)
+	switch *role {
+	case "single", "worker":
+		// A worker IS a single-role server; the spelling just documents
+		// intent in process lists and launch scripts.
+		if len(fleet) > 0 {
+			return errors.New("-workers is only meaningful with -role coordinator")
+		}
+	case "coordinator":
+		if len(fleet) == 0 {
+			return errors.New("-role coordinator requires -workers")
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (want single, worker, or coordinator)", *role)
+	}
+
+	// Resolve the result-store backend. "auto" picks remote when
+	// -store-url is set, the disk cache when -cache-dir is set, an
+	// in-memory store on coordinators (so the fleet always has a shared
+	// store endpoint to point at), and none otherwise.
+	var store runner.Store
+	diskDir := ""
+	kind := *storeKind
+	if kind == "auto" {
+		switch {
+		case *storeURL != "":
+			kind = "remote"
+		case *cacheDir != "":
+			kind = "disk"
+		case *role == "coordinator":
+			kind = "mem"
+		default:
+			kind = "none"
+		}
+	}
+	switch kind {
+	case "disk":
+		if *cacheDir == "" {
+			return errors.New("-store disk requires -cache-dir")
+		}
+		diskDir = *cacheDir
+	case "mem":
+		store = runner.NewMemStore()
+	case "remote":
+		if *storeURL == "" {
+			return errors.New("-store remote requires -store-url")
+		}
+		store = runner.NewRemoteStore(*storeURL, nil, faults)
+	case "none":
+	default:
+		return fmt.Errorf("unknown -store %q (want auto, disk, mem, remote, or none)", *storeKind)
+	}
+
+	// A coordinator never simulates locally: its runner's "simulator"
+	// dispatches each point to the fleet, so every existing layer —
+	// queue, dedup, sweeps, SSE, breaker, metrics — serves the cluster
+	// unchanged. Concurrency scales with the fleet, not local CPUs.
+	var coord *cluster.Coordinator
+	var simFn func(context.Context, sim.Config) (sim.Result, error)
+	conc := *workers
+	if *role == "coordinator" {
+		c, err := cluster.New(cluster.Options{
+			Workers:    fleet,
+			HedgeAfter: *hedgeAfter,
+			Faults:     faults,
+		})
+		if err != nil {
+			return err
+		}
+		coord = c
+		simFn = coord.Run
+		if conc <= 0 {
+			conc = 4 * len(fleet)
+		}
+		fmt.Fprintf(stderr, "hbserved: coordinator over %d worker(s), store %s\n", len(fleet), kind)
+	}
+
 	r, err := runner.New(runner.Options{
-		Workers:      *workers,
-		CacheDir:     *cacheDir,
+		Workers:      conc,
+		CacheDir:     diskDir,
+		Store:        store,
+		Sim:          simFn,
 		SimTimeout:   *jobTimeout,
 		SimMaxCycles: *maxCyc,
 		Faults:       faults,
@@ -101,9 +242,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	svc := service.New(r, service.Options{
+	svcOpts := service.Options{
 		QueueSize:        *queueSize,
-		Concurrency:      *workers,
+		Concurrency:      conc,
 		JobTimeout:       *jobTimeout,
 		RetryAfter:       *retryAfter,
 		MaxTotalInsts:    *maxInsts,
@@ -111,7 +252,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		BreakerCooldown:  *breakCool,
 		SSEWriteTimeout:  *sseTimeout,
 		Faults:           faults,
-	})
+	}
+	if coord != nil {
+		svcOpts.ClusterStatus = func(ctx context.Context, probe bool) *service.ClusterStatus {
+			return clusterStatus(ctx, coord, probe)
+		}
+	}
+	svc := service.New(r, svcOpts)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

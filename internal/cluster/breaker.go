@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one worker's circuit position. The numeric values
+// are exported verbatim on /metrics (hbserved_worker_breaker_state),
+// matching the service-level breaker's encoding from PR 4.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0
+	breakerOpen     breakerState = 1
+	breakerHalfOpen breakerState = 2
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-worker circuit breaker: the same
+// closed → open → half-open discipline the service applies to its own
+// queue, applied here to one worker's transport health. Consecutive
+// dispatch failures open it; an open breaker routes that worker's
+// share of the sweep to its peers (reassignment); after the cooldown a
+// single probe dispatch decides whether the worker rejoins the fleet.
+type breaker struct {
+	threshold int           // consecutive failures to open; <=0 disables
+	cooldown  time.Duration // open duration before a half-open probe
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	opens    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a dispatch to this worker may proceed. In
+// half-open state exactly one probe is admitted at a time.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		fallthrough
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+	}
+	return true
+}
+
+// report folds one dispatch outcome in. Success closes a half-open
+// breaker and clears the streak; failure re-opens a half-open breaker
+// immediately and trips a closed one at the threshold.
+func (b *breaker) report(ok bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		if b.state == breakerHalfOpen {
+			b.state = breakerClosed
+		}
+		b.probing = false
+		return
+	}
+	b.fails++
+	switch {
+	case b.state == breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.opens++
+		b.probing = false
+	case b.state == breakerClosed && b.fails >= b.threshold:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.opens++
+	}
+}
+
+// snapshot returns the current state and total opens.
+func (b *breaker) snapshot() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hbcache/internal/service"
+)
+
+// TestRetryAfterHonored pins satellite bug fix #3a: a 429 or 503 with
+// a Retry-After header must actually be waited out — the worker's
+// backpressure signal is obeyed, not hammered.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		switch n {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			// No header: the default pause applies, not zero.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			fmt.Fprint(w, `{"ok":true}`)
+		}
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	start := time.Now()
+	if err := c.doJSON(context.Background(), http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (429, 503, 200)", got)
+	}
+	// 1s honored for the 429 plus the 250ms default for the bare 503.
+	if elapsed < 1250*time.Millisecond {
+		t.Errorf("retries completed in %v, want >= 1.25s (Retry-After not honored)", elapsed)
+	}
+}
+
+// TestRetryAfterCapped: an absurd Retry-After must be clamped to the
+// client's cap so one worker cannot wedge a dispatch slot for an hour.
+func TestRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	c.retryCap = 100 * time.Millisecond
+	start := time.Now()
+	if err := c.doJSON(context.Background(), http.MethodGet, "/x", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("hour-long Retry-After was honored past the cap: %v", elapsed)
+	}
+}
+
+// TestRetryAbortsOnCancel: a cancelled context must cut a Retry-After
+// sleep short instead of serving it out.
+func TestRetryAbortsOnCancel(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	c := NewClient(ts.URL, nil)
+	start := time.Now()
+	err := c.doJSON(ctx, http.MethodGet, "/x", nil, nil)
+	if err == nil {
+		t.Fatal("doJSON against a perpetually-429 server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v to cut the retry sleep short", elapsed)
+	}
+}
+
+// TestRetryBudgetExhausted: a worker that never stops throttling
+// eventually yields an error naming the status, not an infinite loop.
+func TestRetryBudgetExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	err := c.doJSON(context.Background(), http.MethodGet, "/x", nil, nil)
+	if err == nil {
+		t.Fatal("want an error after the retry budget")
+	}
+	if !strings.Contains(err.Error(), "429") {
+		t.Errorf("error does not name the status: %v", err)
+	}
+}
+
+// TestSSECancelNoGoroutineLeak pins satellite bug fix #3b under the
+// race detector: cancelling an SSE stream's context must unblock the
+// read promptly and leave no goroutine behind. Twenty stream/cancel
+// cycles against a server that never sends a byte would strand twenty
+// goroutines under the old behavior; the tolerance below would catch
+// even a fraction of that.
+func TestSSECancelNoGoroutineLeak(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // never send an event
+	}))
+	defer ts.Close()
+
+	base := runtime.NumGoroutine()
+	c := NewClient(ts.URL, nil)
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- c.streamSSE(ctx, "/v1/jobs/x/events", func(service.Event) bool { return true })
+		}()
+		time.Sleep(5 * time.Millisecond) // let the stream block in read
+		cancel()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("cancelled stream returned nil, want ctx error")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled SSE stream did not unblock within 5s")
+		}
+	}
+
+	// Goroutine counts settle asynchronously (transport bookkeeping);
+	// poll briefly before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: base=%d now=%d\n%s", base, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestStreamSSEDecodesEvents: the happy path — events flow until the
+// callback stops the stream.
+func TestStreamSSEDecodesEvents(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(w, "id: %d\ndata: {\"seq\":%d,\"state\":\"running\"}\n\n", i, i)
+		}
+		w.(http.Flusher).Flush()
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil)
+	var got []int
+	err := c.streamSSE(context.Background(), "/v1/jobs/x/events", func(ev service.Event) bool {
+		got = append(got, ev.Seq)
+		return len(got) < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("events = %v, want [0 1 2]", got)
+	}
+}

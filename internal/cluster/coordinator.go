@@ -1,0 +1,591 @@
+// Package cluster is the distributed sweep fabric: a coordinator that
+// shards design-space points across a fleet of worker processes over
+// HTTP. Workers are plain hbserved instances — the existing job/queue/
+// SSE protocol is the worker API — so the fleet is just N copies of the
+// same binary pointed at a shared result store.
+//
+// The paper's evaluation (and everything the ROADMAP grows it into) is
+// embarrassingly parallel: hundreds of independent (benchmark × cache
+// organization) points. The coordinator exploits that three ways:
+//
+//   - Sharding: a sweep's points are planned round-robin across workers
+//     (Plan), then dispatched dynamically — a worker that drains its
+//     share steals from the backlog, so one slow box never gates the
+//     sweep (work-stealing reassignment of straggler shards).
+//   - Hedging: a point that outlives Options.HedgeAfter is duplicated
+//     on a second worker; the first terminal result wins. Stragglers
+//     cost one duplicate simulation instead of the sweep's tail latency.
+//   - Fault routing: every dispatch goes through a per-worker circuit
+//     breaker and exponential backoff (the PR 4 machinery applied
+//     fleet-wide). A dead worker's points reassign to its peers; the
+//     worker rejoins via a half-open probe when it recovers.
+//
+// Dedup is not the coordinator's job: the runner's content-addressed
+// keys are location-independent, so pointing every worker's runner.Store
+// at the coordinator's shared HTTP store makes each unique config
+// simulate exactly once, cluster-wide, with no coordination protocol
+// beyond GET/PUT.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hbcache/internal/fault"
+	"hbcache/internal/runner"
+	"hbcache/internal/service"
+	"hbcache/internal/sim"
+)
+
+// Options configure a Coordinator.
+type Options struct {
+	// Workers is the fleet: base URLs of hbserved worker instances.
+	// At least one is required.
+	Workers []string
+	// HTTP, when non-nil, is the client used for all worker traffic.
+	HTTP *http.Client
+	// PerWorker is how many points RunSweep keeps in flight per worker.
+	// Zero selects 4.
+	PerWorker int
+	// HedgeAfter is how long a dispatched point may run before a
+	// duplicate is hedged onto another worker (first result wins).
+	// Zero selects 30s; negative disables hedging.
+	HedgeAfter time.Duration
+	// DispatchRetries bounds how many workers one point will try before
+	// its error is surfaced. Zero selects 2×len(Workers).
+	DispatchRetries int
+	// RetryBackoff is the base delay between dispatch attempts,
+	// doubling with ±50% jitter like the runner's retry backoff. Zero
+	// selects 100ms; negative disables (tests).
+	RetryBackoff time.Duration
+	// BreakerThreshold is how many consecutive dispatch failures open a
+	// worker's circuit breaker. Zero selects 3; negative disables.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open worker breaker waits before
+	// admitting a half-open probe. Zero selects 10s.
+	BreakerCooldown time.Duration
+	// ProbeTimeout bounds each health probe in Reachable. Zero
+	// selects 2s.
+	ProbeTimeout time.Duration
+	// Faults, when non-nil, arms the cluster.dispatch chaos site.
+	Faults *fault.Registry
+	// OnProgress, when non-nil, is called after every completed
+	// RunSweep point with (done, failed, total). Calls are serialized.
+	OnProgress func(done, failed, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.PerWorker <= 0 {
+		o.PerWorker = 4
+	}
+	switch {
+	case o.HedgeAfter == 0:
+		o.HedgeAfter = 30 * time.Second
+	case o.HedgeAfter < 0:
+		o.HedgeAfter = 0 // disabled
+	}
+	if o.DispatchRetries <= 0 {
+		o.DispatchRetries = 2 * len(o.Workers)
+	}
+	switch {
+	case o.RetryBackoff == 0:
+		o.RetryBackoff = 100 * time.Millisecond
+	case o.RetryBackoff < 0:
+		o.RetryBackoff = 0
+	}
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = 3
+	case o.BreakerThreshold < 0:
+		o.BreakerThreshold = 0
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 2 * time.Second
+	}
+	return o
+}
+
+// ErrNoWorkers means every worker's breaker is open: the whole fleet
+// is unreachable or failing, so dispatch cannot proceed right now.
+var ErrNoWorkers = errors.New("cluster: no dispatchable workers (all breakers open)")
+
+// worker is the coordinator's record of one fleet member.
+type worker struct {
+	idx    int
+	client *Client
+	br     *breaker
+
+	mu         sync.Mutex
+	inflight   int
+	dispatched int64
+	completed  int64
+	failed     int64
+	stolen     int64
+}
+
+func (w *worker) load() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inflight
+}
+
+// WorkerHealth is one worker's externally visible state, exported on
+// the coordinator's readiness endpoint and /metrics.
+type WorkerHealth struct {
+	URL string `json:"url"`
+	// Healthy means the worker's breaker is not open: dispatches are
+	// being routed to it.
+	Healthy  bool `json:"healthy"`
+	Inflight int  `json:"inflight"`
+	// Dispatched counts points handed to this worker; Completed those
+	// that returned results; Failed dispatch-level failures (transport,
+	// protocol — not job-level simulation errors); Stolen points this
+	// worker executed for a shard planned onto a peer.
+	Dispatched   int64  `json:"dispatched"`
+	Completed    int64  `json:"completed"`
+	Failed       int64  `json:"failed"`
+	Stolen       int64  `json:"stolen"`
+	Breaker      string `json:"breaker"`
+	BreakerOpens int64  `json:"breaker_opens"`
+}
+
+// Coordinator shards simulation points across a worker fleet.
+type Coordinator struct {
+	opts    Options
+	workers []*worker
+	faults  *fault.Registry
+
+	// progressMu serializes OnProgress and the counters behind it.
+	progressMu sync.Mutex
+	done       int
+	failed     int
+	total      int
+}
+
+// New builds a Coordinator over the given worker fleet.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("cluster: coordinator needs at least one worker URL")
+	}
+	opts = opts.withDefaults()
+	c := &Coordinator{opts: opts, faults: opts.Faults}
+	for i, u := range opts.Workers {
+		c.workers = append(c.workers, &worker{
+			idx:    i,
+			client: NewClient(u, opts.HTTP),
+			br:     newBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		})
+	}
+	return c, nil
+}
+
+// WorkerURLs reports the fleet's base URLs in dispatch order.
+func (c *Coordinator) WorkerURLs() []string {
+	out := make([]string, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.client.URL()
+	}
+	return out
+}
+
+// Health reports every worker's current state without touching the
+// network: healthy means the breaker is routing work to it.
+func (c *Coordinator) Health() []WorkerHealth {
+	out := make([]WorkerHealth, len(c.workers))
+	for i, w := range c.workers {
+		state, opens := w.br.snapshot()
+		w.mu.Lock()
+		out[i] = WorkerHealth{
+			URL:          w.client.URL(),
+			Healthy:      state != breakerOpen,
+			Inflight:     w.inflight,
+			Dispatched:   w.dispatched,
+			Completed:    w.completed,
+			Failed:       w.failed,
+			Stolen:       w.stolen,
+			Breaker:      state.String(),
+			BreakerOpens: opens,
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// Reachable actively probes every worker's liveness endpoint in
+// parallel (bounded by Options.ProbeTimeout each) and reports how many
+// answered, alongside the fleet size. Readiness probes call this.
+func (c *Coordinator) Reachable(ctx context.Context) (reachable, total int) {
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
+			defer cancel()
+			if w.client.Healthz(pctx) == nil {
+				mu.Lock()
+				reachable++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return reachable, len(c.workers)
+}
+
+// Plan is the shard planner: it assigns n points to k shards
+// round-robin (shard j owns points j, j+k, j+2k, …), so shards stay
+// balanced within one point and in-order dispatch touches every worker
+// from the first k points instead of queueing the whole prefix on
+// worker 0. The assignment is a preference, not a contract — dynamic
+// stealing and failure reassignment override it at dispatch time.
+func Plan(n, k int) [][]int {
+	if k <= 0 {
+		k = 1
+	}
+	shards := make([][]int, k)
+	for i := 0; i < n; i++ {
+		shards[i%k] = append(shards[i%k], i)
+	}
+	return shards
+}
+
+// pick selects the worker for one dispatch attempt: the planned owner
+// if its breaker admits it and it is not overloaded relative to the
+// least-loaded peer (slack of 2 in-flight points), otherwise the
+// least-loaded admissible worker — that switch is the steal. avoid
+// names a worker that just failed this point; it is skipped unless it
+// is the only admissible one. Returns nil when every breaker is open.
+func (c *Coordinator) pick(preferred, avoid int) *worker {
+	type cand struct {
+		w    *worker
+		load int
+	}
+	cands := make([]cand, 0, len(c.workers))
+	minLoad := -1
+	for _, w := range c.workers {
+		l := w.load()
+		cands = append(cands, cand{w, l})
+		if minLoad < 0 || l < minLoad {
+			minLoad = l
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].load < cands[j].load })
+
+	// Build the preference order: planned owner first (when lightly
+	// loaded), then by load; the failed worker goes last.
+	order := make([]*worker, 0, len(cands)+1)
+	if preferred >= 0 && preferred < len(c.workers) && preferred != avoid {
+		if pw := c.workers[preferred]; pw.load() <= minLoad+2 {
+			order = append(order, pw)
+		}
+	}
+	var avoided *worker
+	for _, cd := range cands {
+		if len(order) > 0 && cd.w == order[0] {
+			continue
+		}
+		if cd.w.idx == avoid {
+			avoided = cd.w
+			continue
+		}
+		order = append(order, cd.w)
+	}
+	if avoided != nil {
+		order = append(order, avoided)
+	}
+	// allow() is side-effectful (a half-open breaker admits exactly one
+	// probe), so it is asked only about the worker actually chosen.
+	for _, w := range order {
+		if w.br.allow() {
+			return w
+		}
+	}
+	return nil
+}
+
+// Run executes one config on the fleet and returns its result — the
+// signature of runner.Options.Sim, which is exactly how the
+// coordinator's hbserved wires it in: the service's queue, dedup,
+// breaker, and SSE machinery all stay, only "simulate" now means
+// "dispatch to a worker". Includes cross-worker reassignment on
+// failure and hedging for stragglers.
+func (c *Coordinator) Run(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+	return c.runPoint(ctx, cfg, -1)
+}
+
+// outcome is one dispatch attempt chain's final word on a point.
+type outcome struct {
+	res  sim.Result
+	err  error
+	widx int // worker that produced res, -1 if none
+}
+
+// runPoint drives one point to completion: a primary attempt chain,
+// plus one hedged duplicate if the primary outlives HedgeAfter. The
+// first success wins and cancels the other chain.
+func (c *Coordinator) runPoint(ctx context.Context, cfg sim.Config, preferred int) (sim.Result, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan outcome, 2)
+	launch := func(avoid int) {
+		res, widx, err := c.attemptChain(cctx, cfg, preferred, avoid)
+		ch <- outcome{res: res, err: err, widx: widx}
+	}
+	go launch(-1)
+	inflight := 1
+
+	var hedgeC <-chan time.Time
+	if c.opts.HedgeAfter > 0 {
+		t := time.NewTimer(c.opts.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				cancel()
+				if preferred >= 0 && o.widx >= 0 && o.widx != preferred {
+					w := c.workers[o.widx]
+					w.mu.Lock()
+					w.stolen++
+					w.mu.Unlock()
+				}
+				// Drain the losing chain (bounded: channel holds 2) so
+				// nothing blocks on send after we return.
+				return o.res, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			inflight--
+			if inflight == 0 {
+				return sim.Result{}, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			inflight++
+			// The straggling primary is somewhere; the hedge avoids the
+			// planned owner so it lands on a different worker whenever
+			// the fleet has one.
+			go launch(preferred)
+		}
+	}
+}
+
+// attemptChain tries a point on up to DispatchRetries workers, with
+// backoff between attempts: transport and protocol failures rotate to
+// the next worker (reassignment); a job that *ran* and failed is
+// deterministic and surfaces immediately.
+func (c *Coordinator) attemptChain(ctx context.Context, cfg sim.Config, preferred, avoid int) (sim.Result, int, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.DispatchRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		w := c.pick(preferred, avoid)
+		if w == nil {
+			lastErr = ErrNoWorkers
+			if !c.sleepBackoff(ctx, attempt) {
+				break
+			}
+			continue
+		}
+		res, err := c.runOn(ctx, w, cfg)
+		if err == nil {
+			return res, w.idx, nil
+		}
+		lastErr = err
+		if JobFailed(err) || ctx.Err() != nil {
+			return sim.Result{}, w.idx, err
+		}
+		// This worker failed the point at the transport level: stop
+		// preferring the plan, try a different worker next.
+		preferred, avoid = -1, w.idx
+		if !c.sleepBackoff(ctx, attempt) {
+			break
+		}
+	}
+	return sim.Result{}, -1, fmt.Errorf("cluster: dispatch exhausted after retries: %w", lastErr)
+}
+
+// sleepBackoff waits out the exponential-backoff delay before the next
+// dispatch attempt (base<<attempt, ±50% jitter, capped at 5s),
+// reporting false if ctx was cancelled while waiting.
+func (c *Coordinator) sleepBackoff(ctx context.Context, attempt int) bool {
+	b := c.opts.RetryBackoff
+	if b <= 0 {
+		return ctx.Err() == nil
+	}
+	d := b << attempt
+	if d <= 0 || d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	d = d/2 + rand.N(d) // uniform in [d/2, 3d/2)
+	return sleep(ctx, d)
+}
+
+// runOn dispatches one point to one worker and waits for its terminal
+// state, updating that worker's health and counters.
+func (c *Coordinator) runOn(ctx context.Context, w *worker, cfg sim.Config) (sim.Result, error) {
+	if err := c.faults.Fire(ctx, fault.SiteClusterDispatch); err != nil {
+		w.br.report(false)
+		w.mu.Lock()
+		w.failed++
+		w.mu.Unlock()
+		return sim.Result{}, err
+	}
+	w.mu.Lock()
+	w.inflight++
+	w.dispatched++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.inflight--
+		w.mu.Unlock()
+	}()
+
+	fail := func(err error) (sim.Result, error) {
+		w.br.report(false)
+		w.mu.Lock()
+		w.failed++
+		w.mu.Unlock()
+		return sim.Result{}, fmt.Errorf("cluster: worker %s: %w", w.client.URL(), err)
+	}
+
+	view, err := w.client.SubmitJob(ctx, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if !view.State.Terminal() {
+		view, err = w.client.AwaitJob(ctx, view.ID)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	// The worker answered end to end: transport-wise it is healthy,
+	// whatever the job's own verdict.
+	w.br.report(true)
+	if view.State == service.StateFailed {
+		return sim.Result{}, fmt.Errorf("%w %s: %s", errJobFailed, w.client.URL(), view.Error)
+	}
+	if view.Result == nil {
+		return fail(fmt.Errorf("job %s done without a result", view.ID))
+	}
+	w.mu.Lock()
+	w.completed++
+	w.mu.Unlock()
+	return *view.Result, nil
+}
+
+// RunSweep executes a batch across the fleet and returns one JobResult
+// per config in submission order, mirroring runner.Run's contract:
+// per-point failures land in the corresponding JobResult.Err, and the
+// returned error is non-nil only on cancellation. Points that share a
+// canonical key are dispatched once and fanned back out as memo hits,
+// so a sweep with overlap costs the fleet one simulation per unique
+// config even before the shared store weighs in.
+func (c *Coordinator) RunSweep(ctx context.Context, cfgs []sim.Config) ([]runner.JobResult, error) {
+	n := len(cfgs)
+	results := make([]runner.JobResult, n)
+
+	// In-batch dedup on the canonical key.
+	firstOf := map[string]int{}
+	dupOf := make([]int, n) // dupOf[i] = index of the point i duplicates, or -1
+	var uniq []int
+	for i := range cfgs {
+		dupOf[i] = -1
+		key, err := runner.Key(cfgs[i])
+		if err != nil {
+			results[i] = runner.JobResult{Config: cfgs[i], Err: fmt.Errorf("cluster: keying config %d: %w", i, err)}
+			continue
+		}
+		if j, ok := firstOf[key]; ok {
+			dupOf[i] = j
+			continue
+		}
+		firstOf[key] = i
+		uniq = append(uniq, i)
+	}
+
+	c.progressMu.Lock()
+	c.total += len(uniq)
+	c.progressMu.Unlock()
+
+	plan := Plan(len(uniq), len(c.workers))
+	owner := make(map[int]int, len(uniq)) // point index -> planned worker
+	for shard, points := range plan {
+		for _, u := range points {
+			owner[uniq[u]] = shard
+		}
+	}
+
+	conc := c.opts.PerWorker * len(c.workers)
+	perr := runner.Parallel(ctx, conc, len(uniq), func(u int) error {
+		i := uniq[u]
+		started := time.Now()
+		res, err := c.runPoint(ctx, cfgs[i], owner[i])
+		results[i] = runner.JobResult{
+			Config:   cfgs[i],
+			Result:   res,
+			Err:      err,
+			Wall:     time.Since(started),
+			Attempts: 1,
+		}
+		c.progress(err != nil)
+		return nil // per-point errors live in results; never abort peers
+	})
+
+	for i := range results {
+		if j := dupOf[i]; j >= 0 {
+			results[i] = results[j]
+			results[i].Config = cfgs[i]
+			results[i].MemoHit = true
+		}
+	}
+	if perr != nil {
+		// Points the dispatcher never reached are still zero values;
+		// account for every slot like runner.Run does.
+		for i := range results {
+			if results[i].Attempts == 0 && results[i].Err == nil && !results[i].MemoHit {
+				results[i].Config = cfgs[i]
+				results[i].Err = perr
+			}
+		}
+		return results, perr
+	}
+	return results, nil
+}
+
+// progress folds one finished point into the counters and fires the
+// progress callback, serialized.
+func (c *Coordinator) progress(failed bool) {
+	c.progressMu.Lock()
+	defer c.progressMu.Unlock()
+	if failed {
+		c.failed++
+	} else {
+		c.done++
+	}
+	if c.opts.OnProgress != nil {
+		c.opts.OnProgress(c.done, c.failed, c.total)
+	}
+}

@@ -60,6 +60,15 @@ const (
 	// SiteSSEWrite fires before each SSE event write, simulating a slow
 	// subscriber that stalls the stream.
 	SiteSSEWrite = "service.sse.write"
+	// SiteClusterDispatch fires before the coordinator hands a point to
+	// a worker, modeling a flaky control plane between nodes.
+	SiteClusterDispatch = "cluster.dispatch"
+	// SiteStoreRemoteGet fires on every remote-store lookup (error/delay:
+	// an injected error behaves as a cache miss, like a network blip).
+	SiteStoreRemoteGet = "store.remote.get"
+	// SiteStoreRemotePut fires on every remote-store write; an injected
+	// error drops the write, which the runner tolerates by design.
+	SiteStoreRemotePut = "store.remote.put"
 )
 
 // ErrInjected is returned from sites where a KindError rule activates.

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync/atomic"
 
 	"hbcache/internal/fault"
@@ -54,9 +56,9 @@ func Key(cfg sim.Config) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// Cache is an on-disk, content-addressed store of simulation results:
-// one JSON file per key, sharded by the key's first byte to keep
-// directories small on big sweeps.
+// Cache is the on-disk Store backend: a content-addressed store of
+// simulation results, one JSON file per key, sharded by the key's
+// first byte to keep directories small on big sweeps.
 type Cache struct {
 	dir string
 	// faults, when non-nil, injects read/write errors and corrupted
@@ -65,31 +67,6 @@ type Cache struct {
 	// corrupt counts entries quarantined because they failed the
 	// key or checksum verification in Get.
 	corrupt atomic.Int64
-}
-
-// cacheEntry is the on-disk record. The config rides along purely for
-// debuggability — `cat` a cache file and see what produced it. Sum is
-// the hex SHA-256 of the entry's JSON encoding with Sum itself blank,
-// so torn writes and bit rot are detected instead of silently served.
-type cacheEntry struct {
-	Key    string
-	Config sim.Config
-	Result sim.Result
-	Sum    string
-}
-
-// sum returns the entry's checksum: the hex SHA-256 of its compact JSON
-// encoding with the Sum field cleared.
-func (e cacheEntry) sum() string {
-	e.Sum = ""
-	b, err := json.Marshal(e)
-	if err != nil {
-		// sim types marshal without error by construction; a failure here
-		// yields a value no stored Sum matches, so the entry quarantines.
-		return "unmarshalable"
-	}
-	s := sha256.Sum256(b)
-	return hex.EncodeToString(s[:])
 }
 
 // NewCache opens (creating if needed) a cache rooted at dir.
@@ -140,8 +117,8 @@ func (c *Cache) Get(key string) (sim.Result, bool) {
 	if err != nil {
 		return sim.Result{}, false
 	}
-	var e cacheEntry
-	if err := json.Unmarshal(b, &e); err != nil || e.Key != key || e.Sum != e.sum() {
+	var e StoreEntry
+	if err := json.Unmarshal(b, &e); err != nil || !e.Verify(key) {
 		c.quarantine(p)
 		return sim.Result{}, false
 	}
@@ -159,8 +136,8 @@ func (c *Cache) Put(key string, cfg sim.Config, res sim.Result) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
 	}
-	e := cacheEntry{Key: key, Config: cfg, Result: res}
-	e.Sum = e.sum()
+	e := StoreEntry{Key: key, Config: cfg, Result: res}
+	e.Seal()
 	b, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {
 		return err
@@ -188,15 +165,23 @@ func (c *Cache) Put(key string, cfg sim.Config, res sim.Result) error {
 // Len counts the entries currently stored, for tests and tooling.
 // Quarantined *.corrupt files are not entries and are not counted.
 func (c *Cache) Len() (int, error) {
-	n := 0
+	keys, err := c.Keys()
+	return len(keys), err
+}
+
+// Keys lists every stored entry's key, sorted. Quarantined *.corrupt
+// files are not entries and are not listed.
+func (c *Cache) Keys() ([]string, error) {
+	var keys []string
 	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
 		if !d.IsDir() && filepath.Ext(path) == ".json" {
-			n++
+			keys = append(keys, strings.TrimSuffix(filepath.Base(path), ".json"))
 		}
 		return nil
 	})
-	return n, err
+	sort.Strings(keys)
+	return keys, err
 }

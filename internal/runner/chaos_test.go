@@ -156,7 +156,7 @@ func TestChaosCacheWriteErrorDoesNotFailJob(t *testing.T) {
 	if jr.Err != nil {
 		t.Fatalf("job failed on a cache-write error: %v", jr.Err)
 	}
-	if n, err := r.cache.Len(); err != nil || n != 0 {
+	if n, err := r.store.(*Cache).Len(); err != nil || n != 0 {
 		t.Errorf("cache Len = %d (%v), want 0 (write was rejected)", n, err)
 	}
 }

@@ -41,7 +41,12 @@ type Options struct {
 	// CacheDir, when non-empty, enables the on-disk result cache: each
 	// completed simulation is stored under its content-addressed key
 	// and later runs with the same config are served from disk.
+	// Ignored when Store is set.
 	CacheDir string
+	// Store, when non-nil, is the result store backing this runner —
+	// disk (Cache), in-memory (MemStore), or a coordinator's shared
+	// HTTP store (RemoteStore). It takes precedence over CacheDir.
+	Store Store
 	// Retries is how many times a failed or panicked job re-runs before
 	// its error is surfaced. Simulations are deterministic, so the
 	// zero default is right unless the sim function is stubbed.
@@ -142,7 +147,7 @@ type Runner struct {
 	retries    int
 	backoff    time.Duration
 	onProgress func(Metrics)
-	cache      *Cache
+	store      Store
 
 	// sim runs one simulation; tests substitute instrumented stubs.
 	sim func(ctx context.Context, cfg sim.Config) (sim.Result, error)
@@ -205,16 +210,24 @@ func New(opts Options) (*Runner, error) {
 		memo:       map[string]*memoEntry{},
 		listeners:  map[int]func(Metrics){},
 	}
-	if opts.CacheDir != "" {
+	switch {
+	case opts.Store != nil:
+		r.store = opts.Store
+	case opts.CacheDir != "":
 		c, err := NewCache(opts.CacheDir)
 		if err != nil {
 			return nil, err
 		}
 		c.faults = opts.Faults
-		r.cache = c
+		r.store = c
 	}
 	return r, nil
 }
+
+// Store reports the result store backing this runner, nil when results
+// are not persisted. The service mounts it over HTTP in coordinator
+// role so a worker fleet can share it.
+func (r *Runner) Store() Store { return r.store }
 
 // Workers reports the configured pool width.
 func (r *Runner) Workers() int { return r.workers }
@@ -248,8 +261,8 @@ func (r *Runner) Metrics() Metrics {
 func (r *Runner) snapshotLocked() Metrics {
 	m := r.metrics
 	m.Elapsed = time.Since(r.start)
-	if r.cache != nil {
-		m.CorruptEntries = int(r.cache.CorruptEntries())
+	if r.store != nil {
+		m.CorruptEntries = int(r.store.CorruptEntries())
 	}
 	return m
 }
@@ -368,8 +381,8 @@ func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
 	// then publish for any duplicates waiting above.
 	defer close(entry.done)
 
-	if r.cache != nil {
-		if res, ok := r.cache.Get(key); ok {
+	if r.store != nil {
+		if res, ok := r.store.Get(key); ok {
 			entry.res = res
 			jr.Result, jr.CacheHit = res, true
 			return settle()
@@ -404,12 +417,12 @@ func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
 	}
 	entry.res = res
 	jr.Result = res
-	if r.cache != nil {
+	if r.store != nil {
 		// Checkpoint before reporting done so a cancellation right after
-		// this job still finds the result on disk next run. A cache
+		// this job still finds the result in the store next run. A store
 		// write failure is not a job failure — the result itself is
 		// good — so it is deliberately dropped.
-		_ = r.cache.Put(key, cfg, res)
+		_ = r.store.Put(key, cfg, res)
 	}
 	return settle()
 }

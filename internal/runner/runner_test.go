@@ -457,7 +457,7 @@ func TestRunJobProvenance(t *testing.T) {
 	}
 
 	// A new runner over the same cache dir: the disk answers.
-	r2, err := New(Options{Workers: 2, CacheDir: r.cache.dir, Sim: func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+	r2, err := New(Options{Workers: 2, CacheDir: r.store.(*Cache).dir, Sim: func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 		t.Error("disk-cached job re-simulated")
 		return stubSim(ctx, cfg)
 	}})

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"hbcache/internal/sim"
+)
+
+// Store is the pluggable result-store seam: a content-addressed map
+// from the runner's canonical config key to a finished simulation
+// result. The disk Cache, the in-memory MemStore, and the HTTP
+// RemoteStore all implement it, so a runner can checkpoint against a
+// local directory, a test fixture, or a coordinator shared by a whole
+// worker fleet without knowing the difference.
+//
+// Semantics every backend preserves:
+//
+//   - Get is a lookup, never an error: a missing, unreachable, or
+//     corrupt entry is a miss, and a miss only costs a re-simulation.
+//   - Put is durable on success and atomic with respect to Get — a
+//     reader never observes a half-written entry.
+//   - Keys lists every stored key (order unspecified) for resume
+//     tooling and tests.
+//   - CorruptEntries counts entries that failed their integrity check
+//     and were quarantined or rejected; corrupt bytes are never served.
+type Store interface {
+	Get(key string) (sim.Result, bool)
+	Put(key string, cfg sim.Config, res sim.Result) error
+	Keys() ([]string, error)
+	CorruptEntries() int64
+}
+
+// StoreEntry is the wire and on-disk record shared by every Store
+// backend. The config rides along purely for debuggability — `cat` a
+// cache file (or GET a store URL) and see what produced it. Sum is the
+// hex SHA-256 of the entry's compact JSON encoding with Sum itself
+// blank, so torn writes, bit rot, and mangled uploads are detected
+// instead of silently served. Field names are part of the format;
+// existing v3 disk caches parse unchanged.
+type StoreEntry struct {
+	Key    string
+	Config sim.Config
+	Result sim.Result
+	Sum    string
+}
+
+// sum returns the entry's checksum: the hex SHA-256 of its compact JSON
+// encoding with the Sum field cleared.
+func (e StoreEntry) sum() string {
+	e.Sum = ""
+	b, err := json.Marshal(e)
+	if err != nil {
+		// sim types marshal without error by construction; a failure here
+		// yields a value no stored Sum matches, so the entry quarantines.
+		return "unmarshalable"
+	}
+	s := sha256.Sum256(b)
+	return hex.EncodeToString(s[:])
+}
+
+// Seal stamps the entry's checksum over its current contents.
+func (e *StoreEntry) Seal() { e.Sum = e.sum() }
+
+// Verify reports whether the entry is internally consistent: its Sum
+// matches its contents and its Key matches key.
+func (e StoreEntry) Verify(key string) bool {
+	return e.Key == key && e.Sum == e.sum()
+}
+
+// MemStore is an in-memory Store: a mutex-guarded map. It backs tests,
+// ephemeral coordinators that only need fleet-wide dedup for the life
+// of the process, and the remote store's server side when no disk is
+// wanted. Entries cannot rot in memory, so CorruptEntries is always 0.
+type MemStore struct {
+	mu      sync.RWMutex
+	entries map[string]StoreEntry
+}
+
+// NewMemStore builds an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{entries: map[string]StoreEntry{}}
+}
+
+// Get returns the stored result for key, if present.
+func (m *MemStore) Get(key string) (sim.Result, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e, ok := m.entries[key]
+	return e.Result, ok
+}
+
+// Put stores a result under key, replacing any previous entry.
+func (m *MemStore) Put(key string, cfg sim.Config, res sim.Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = StoreEntry{Key: key, Config: cfg, Result: res}
+	return nil
+}
+
+// Keys lists the stored keys, sorted for deterministic output.
+func (m *MemStore) Keys() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// CorruptEntries is always 0: memory does not rot.
+func (m *MemStore) CorruptEntries() int64 { return 0 }
+
+// Len reports the number of stored entries, for tests and tooling.
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}

@@ -43,8 +43,13 @@ type errorResponse struct {
 //	GET  /v1/sweeps/{id}                          sweep status
 //	GET  /v1/sweeps/{id}/results                  per-point results (partial OK)
 //	GET  /v1/sweeps/{id}/events                   SSE progress stream
-//	GET  /healthz                                 liveness (503 while draining)
+//	GET  /healthz                                 liveness (200 while the process serves)
+//	GET  /readyz                                  readiness (503 while draining/broken/workerless)
 //	GET  /metrics                                 Prometheus text format
+//
+// When the runner has a result store, the store's HTTP surface is
+// mounted too (GET/PUT /v1/store/{key}, GET /v1/store) — that is what
+// cluster workers point their remote stores at.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
@@ -57,7 +62,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.storeSrv != nil {
+		s.storeSrv.Register(mux)
+	}
 	return mux
 }
 
@@ -178,14 +187,6 @@ func (s *Service) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
-}
-
-func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {

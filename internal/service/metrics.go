@@ -46,9 +46,75 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("hbserved_sims_per_second", "Completed runner jobs per second of runner lifetime.", rm.Rate())
 
 	p.Histogram("hbserved_job_latency_seconds", "Wall time from job dispatch to completion (cache hits included).", s.latency)
+
+	if s.storeSrv != nil {
+		st := s.storeSrv.Stats()
+		p.Counter("hbserved_store_gets_total", "Result-store GETs served over HTTP.", float64(st.Gets))
+		p.Counter("hbserved_store_hits_total", "Result-store GETs answered with an entry.", float64(st.Hits))
+		p.Counter("hbserved_store_puts_total", "Result-store entries accepted over HTTP.", float64(st.Puts))
+		p.Counter("hbserved_store_rejects_total", "Result-store uploads rejected for failing verification.", float64(st.Rejects))
+	}
+
+	if s.opts.ClusterStatus != nil {
+		// probe=false: /metrics must answer from local state, never the
+		// network.
+		if cs := s.opts.ClusterStatus(r.Context(), false); cs != nil {
+			s.workerMetrics(&p, cs)
+		}
+	}
 	body := p.String()
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(body))
+}
+
+// workerMetrics renders the coordinator's per-worker families, one
+// labeled sample per fleet member.
+func (s *Service) workerMetrics(p *stats.Prom, cs *ClusterStatus) {
+	vec := func(f func(WorkerStatus) float64) []stats.Sample {
+		out := make([]stats.Sample, 0, len(cs.Workers))
+		for _, w := range cs.Workers {
+			out = append(out, stats.Sample{Labels: map[string]string{"worker": w.URL}, Value: f(w)})
+		}
+		return out
+	}
+	breakerNum := func(state string) float64 {
+		switch state {
+		case "open":
+			return 1
+		case "half-open":
+			return 2
+		default:
+			return 0
+		}
+	}
+	p.Gauge("hbserved_cluster_workers", "Size of the worker fleet.", float64(cs.Total))
+	p.GaugeVec("hbserved_worker_up", "1 while the worker's breaker is routing work to it.", vec(func(w WorkerStatus) float64 {
+		if w.Healthy {
+			return 1
+		}
+		return 0
+	}))
+	p.GaugeVec("hbserved_worker_inflight", "Points currently dispatched to the worker.", vec(func(w WorkerStatus) float64 {
+		return float64(w.Inflight)
+	}))
+	p.GaugeVec("hbserved_worker_breaker_state", "Worker breaker position: 0 closed, 1 open, 2 half-open.", vec(func(w WorkerStatus) float64 {
+		return breakerNum(w.Breaker)
+	}))
+	p.CounterVec("hbserved_worker_dispatched_total", "Points handed to the worker.", vec(func(w WorkerStatus) float64 {
+		return float64(w.Dispatched)
+	}))
+	p.CounterVec("hbserved_worker_completed_total", "Points the worker returned results for.", vec(func(w WorkerStatus) float64 {
+		return float64(w.Completed)
+	}))
+	p.CounterVec("hbserved_worker_failed_total", "Dispatch-level failures (transport, protocol) against the worker.", vec(func(w WorkerStatus) float64 {
+		return float64(w.Failed)
+	}))
+	p.CounterVec("hbserved_worker_stolen_total", "Points the worker executed for a shard planned onto a peer.", vec(func(w WorkerStatus) float64 {
+		return float64(w.Stolen)
+	}))
+	p.CounterVec("hbserved_worker_breaker_opens_total", "Times the worker's breaker tripped open.", vec(func(w WorkerStatus) float64 {
+		return float64(w.BreakerOpens)
+	}))
 }

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// WorkerStatus is one cluster worker's state as readiness and /metrics
+// report it. It mirrors the cluster package's per-worker health record;
+// the duplication is the price of keeping the service free of a
+// dependency on the cluster package (which imports this one).
+type WorkerStatus struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	Inflight     int    `json:"inflight"`
+	Dispatched   int64  `json:"dispatched"`
+	Completed    int64  `json:"completed"`
+	Failed       int64  `json:"failed"`
+	Stolen       int64  `json:"stolen"`
+	Breaker      string `json:"breaker"`
+	BreakerOpens int64  `json:"breaker_opens"`
+}
+
+// ClusterStatus is the coordinator's view of its fleet.
+type ClusterStatus struct {
+	Workers []WorkerStatus `json:"workers"`
+	// Reachable/Total count workers that answered a liveness probe,
+	// over the fleet size. Reachable is only meaningful when the
+	// status was produced with probing allowed.
+	Reachable int `json:"reachable"`
+	Total     int `json:"total"`
+}
+
+// readiness is the GET /readyz payload.
+type readiness struct {
+	Ready    bool   `json:"ready"`
+	Reason   string `json:"reason,omitempty"`
+	Draining bool   `json:"draining"`
+	// Queue pressure: accepted jobs waiting, the queue bound, and jobs
+	// executing right now.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Inflight      int `json:"inflight"`
+	// Breaker is the service-level circuit breaker position.
+	Breaker string `json:"breaker"`
+	// Cluster is present only on coordinators.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+}
+
+// readyProbeTimeout bounds the whole fleet probe a readiness check may
+// spend; kubelet-style probers have their own (often 1s) budgets.
+const readyProbeTimeout = 2 * time.Second
+
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It answers 200 even while draining — a draining process is alive and
+// must not be restarted by a liveness prober; taking it out of rotation
+// is readiness's job (GET /readyz).
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// handleReadyz is readiness: whether this instance should receive new
+// work. Not ready while draining, while the circuit breaker is open,
+// or — on a coordinator — while no worker is reachable. The payload
+// carries the evidence: queue depth, breaker state, and the per-worker
+// fleet view.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rd := readiness{
+		Ready:         true,
+		Draining:      s.draining,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Inflight:      s.running,
+		Breaker:       s.breaker.String(),
+	}
+	breakerOpen := s.breaker == breakerOpen
+	s.mu.Unlock()
+
+	switch {
+	case rd.Draining:
+		rd.Ready, rd.Reason = false, "draining"
+	case breakerOpen:
+		rd.Ready, rd.Reason = false, "circuit breaker open"
+	}
+
+	if s.opts.ClusterStatus != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), readyProbeTimeout)
+		rd.Cluster = s.opts.ClusterStatus(ctx, true)
+		cancel()
+		if rd.Ready && rd.Cluster != nil && rd.Cluster.Reachable == 0 {
+			rd.Ready, rd.Reason = false, "no reachable workers"
+		}
+	}
+
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}

@@ -1,0 +1,187 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hbcache/internal/runner"
+	"hbcache/internal/sim"
+)
+
+// newHandlerServer serves an already-built service over HTTP.
+func newHandlerServer(t *testing.T, svc *Service) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, r io.ReadCloser) string {
+	t.Helper()
+	defer r.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestReadyzHealthy: a fresh service is ready, and the payload carries
+// the queue and breaker evidence.
+func TestReadyzHealthy(t *testing.T) {
+	_, ts := newTestServer(t, stubSim, Options{QueueSize: 7})
+	var rd struct {
+		Ready         bool   `json:"ready"`
+		Breaker       string `json:"breaker"`
+		QueueCapacity int    `json:"queue_capacity"`
+		Cluster       any    `json:"cluster"`
+	}
+	resp := getJSON(t, ts.URL+"/readyz", &rd)
+	if resp.StatusCode != http.StatusOK || !rd.Ready {
+		t.Fatalf("readyz = %d %+v, want 200 ready", resp.StatusCode, rd)
+	}
+	if rd.Breaker != "closed" || rd.QueueCapacity != 7 {
+		t.Errorf("readyz payload = %+v, want closed breaker and the configured queue bound", rd)
+	}
+	if rd.Cluster != nil {
+		t.Errorf("single-process readyz reported a cluster block: %+v", rd.Cluster)
+	}
+}
+
+// TestReadyzBreakerOpen: an open circuit breaker makes the instance
+// not-ready while liveness stays green.
+func TestReadyzBreakerOpen(t *testing.T) {
+	boom := func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+		return sim.Result{}, fmt.Errorf("boom: %w", sim.ErrInvalidConfig)
+	}
+	_, ts := newTestServer(t, boom, Options{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(1)})
+
+	waitFor(t, func() bool {
+		var rd struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason"`
+		}
+		resp := getJSON(t, ts.URL+"/readyz", &rd)
+		return resp.StatusCode == http.StatusServiceUnavailable && rd.Reason == "circuit breaker open"
+	})
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz with an open breaker = %d, want 200 (liveness is not readiness)", resp.StatusCode)
+	}
+}
+
+// TestReadyzCluster: a coordinator's readiness reflects its fleet — no
+// reachable workers means not ready, and /metrics grows the per-worker
+// labeled families.
+func TestReadyzCluster(t *testing.T) {
+	reachable := 0
+	probed := false
+	opts := Options{
+		ClusterStatus: func(ctx context.Context, probe bool) *ClusterStatus {
+			if probe {
+				probed = true
+			}
+			return &ClusterStatus{
+				Workers: []WorkerStatus{
+					{URL: "http://w1", Healthy: true, Dispatched: 5, Completed: 4, Stolen: 1, Breaker: "closed"},
+					{URL: "http://w2", Healthy: false, Failed: 3, Breaker: "open", BreakerOpens: 2},
+				},
+				Reachable: reachable,
+				Total:     2,
+			}
+		},
+	}
+	_, ts := newTestServer(t, stubSim, opts)
+
+	var rd struct {
+		Ready   bool   `json:"ready"`
+		Reason  string `json:"reason"`
+		Cluster *ClusterStatus
+	}
+	resp := getJSON(t, ts.URL+"/readyz", &rd)
+	if resp.StatusCode != http.StatusServiceUnavailable || rd.Reason != "no reachable workers" {
+		t.Fatalf("workerless readyz = %d %+v, want 503", resp.StatusCode, rd)
+	}
+	if !probed {
+		t.Error("readiness did not ask for a probing fleet status")
+	}
+	if rd.Cluster == nil || len(rd.Cluster.Workers) != 2 {
+		t.Fatalf("readyz cluster block = %+v, want both workers", rd.Cluster)
+	}
+
+	reachable = 1
+	rd.Reason = ""
+	if resp := getJSON(t, ts.URL+"/readyz", &rd); resp.StatusCode != http.StatusOK || !rd.Ready {
+		t.Fatalf("readyz with a reachable worker = %d %+v, want 200", resp.StatusCode, rd)
+	}
+
+	body := readAll(t, mustGet(t, ts.URL+"/metrics").Body)
+	for _, want := range []string{
+		`hbserved_cluster_workers 2`,
+		`hbserved_worker_up{worker="http://w1"} 1`,
+		`hbserved_worker_up{worker="http://w2"} 0`,
+		`hbserved_worker_breaker_state{worker="http://w2"} 1`,
+		`hbserved_worker_dispatched_total{worker="http://w1"} 5`,
+		`hbserved_worker_stolen_total{worker="http://w1"} 1`,
+		`hbserved_worker_breaker_opens_total{worker="http://w2"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestStoreMounted: a runner with a result store gets the store's HTTP
+// surface on the service handler; a storeless runner serves 404 there.
+func TestStoreMounted(t *testing.T) {
+	r, err := runner.New(runner.Options{Workers: 1, Sim: stubSim, Store: runner.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(r, Options{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	ts := newHandlerServer(t, svc)
+
+	rs := runner.NewRemoteStore(ts.URL, nil, nil)
+	key := strings.Repeat("ab", 32)
+	if err := rs.Put(key, testConfig(1), sim.Result{Benchmark: "gcc", Cycles: 42}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rs.Get(key)
+	if !ok || got.Cycles != 42 {
+		t.Fatalf("round-trip through the mounted store = %+v ok=%v", got, ok)
+	}
+	body := readAll(t, mustGet(t, ts.URL+"/metrics").Body)
+	if !strings.Contains(body, "hbserved_store_puts_total 1") {
+		t.Error("metrics missing the store server counters")
+	}
+
+	_, tsNoStore := newTestServer(t, stubSim, Options{})
+	resp, err := http.Get(tsNoStore.URL + "/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/store on a storeless service = %d, want 404", resp.StatusCode)
+	}
+}

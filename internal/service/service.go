@@ -65,6 +65,15 @@ type Options struct {
 	// Faults, when non-nil, is the chaos registry for the service's
 	// own fault sites (currently fault.SiteSSEWrite).
 	Faults *fault.Registry
+	// ClusterStatus, when non-nil, makes this service a coordinator
+	// front-end: readiness and /metrics report the worker fleet it
+	// returns. probe=true may touch the network (bounded health
+	// probes); probe=false must answer from local state only (the
+	// /metrics path). The hook keeps the dependency arrow pointing
+	// cluster→service: the cluster package imports this one, so the
+	// binary injects fleet state here instead of the service importing
+	// the cluster.
+	ClusterStatus func(ctx context.Context, probe bool) *ClusterStatus
 }
 
 func (o Options) withDefaults(r *runner.Runner) Options {
@@ -117,6 +126,17 @@ const (
 	breakerOpen     breakerState = 1
 	breakerHalfOpen breakerState = 2
 )
+
+func (b breakerState) String() string {
+	switch b {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
 
 // State is a job's lifecycle position.
 type State string
@@ -249,6 +269,9 @@ type sweep struct {
 type Service struct {
 	opts Options
 	run  *runner.Runner
+	// storeSrv serves the runner's result store over HTTP when the
+	// runner has one — the shared-store side of the cluster fabric.
+	storeSrv *runner.StoreServer
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -305,6 +328,9 @@ func New(r *runner.Runner, opts Options) *Service {
 		sweeps:  map[string]*sweep{},
 		queue:   make(chan *job, opts.QueueSize),
 		latency: stats.NewLatencyHistogram(),
+	}
+	if st := r.Store(); st != nil {
+		s.storeSrv = runner.NewStoreServer(st)
 	}
 	s.unsub = r.AddListener(func(m runner.Metrics) {
 		s.mu.Lock()

@@ -474,10 +474,20 @@ func TestShutdownDrains(t *testing.T) {
 		shutdownErr <- svc.Shutdown(ctx)
 	}()
 
-	// Draining: health flips to 503 and new submissions are refused.
+	// Draining: liveness stays 200 (the process is alive and must not
+	// be restarted), readiness flips to 503 (take it out of rotation),
+	// and new submissions are refused.
 	waitFor(t, func() bool { return svc.Draining() })
-	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	var hz map[string]string
+	if resp := getJSON(t, ts.URL+"/healthz", &hz); resp.StatusCode != http.StatusOK || hz["status"] != "draining" {
+		t.Errorf("healthz while draining = %d %v, want 200 with status=draining", resp.StatusCode, hz)
+	}
+	var rd struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", &rd); resp.StatusCode != http.StatusServiceUnavailable || rd.Ready {
+		t.Errorf("readyz while draining = %d %+v, want 503 not ready", resp.StatusCode, rd)
 	}
 	resp, body := postJSON(t, ts.URL+"/v1/jobs", submitRequest{Config: testConfig(9)})
 	if resp.StatusCode != http.StatusServiceUnavailable {

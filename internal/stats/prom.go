@@ -170,6 +170,32 @@ func (p *Prom) Counter(name, help string, v float64) {
 	p.sample(name, nil, v)
 }
 
+// Sample is one labeled point of a metric family, for the Vec
+// emitters below.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// GaugeVec emits one gauge family with a sample per label set (for
+// example one hbserved_worker_up point per cluster worker). The header
+// is written once; samples render in the order given, each with its
+// labels sorted.
+func (p *Prom) GaugeVec(name, help string, samples []Sample) {
+	p.header(name, help, "gauge")
+	for _, s := range samples {
+		p.sample(name, s.Labels, s.Value)
+	}
+}
+
+// CounterVec emits one counter family with a sample per label set.
+func (p *Prom) CounterVec(name, help string, samples []Sample) {
+	p.header(name, help, "counter")
+	for _, s := range samples {
+		p.sample(name, s.Labels, s.Value)
+	}
+}
+
 // Histogram emits h as a Prometheus histogram: cumulative _bucket
 // series with "le" labels (ending in +Inf), then _sum and _count.
 func (p *Prom) Histogram(name, help string, h *LatencyHistogram) {

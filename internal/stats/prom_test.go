@@ -117,6 +117,33 @@ func TestPromGolden(t *testing.T) {
 	}
 }
 
+// TestPromVecGolden pins the labeled-family rendering: one header per
+// family, one sample per label set, labels sorted by key.
+func TestPromVecGolden(t *testing.T) {
+	var p Prom
+	p.GaugeVec("hb_worker_up", "Worker dispatchability.", []Sample{
+		{Labels: map[string]string{"worker": "http://w1"}, Value: 1},
+		{Labels: map[string]string{"worker": "http://w2"}, Value: 0},
+	})
+	p.CounterVec("hb_worker_done_total", "Points completed.", []Sample{
+		{Labels: map[string]string{"worker": "http://w1", "role": "fleet"}, Value: 12},
+	})
+
+	want := strings.Join([]string{
+		"# HELP hb_worker_up Worker dispatchability.",
+		"# TYPE hb_worker_up gauge",
+		`hb_worker_up{worker="http://w1"} 1`,
+		`hb_worker_up{worker="http://w2"} 0`,
+		"# HELP hb_worker_done_total Points completed.",
+		"# TYPE hb_worker_done_total counter",
+		`hb_worker_done_total{role="fleet",worker="http://w1"} 12`,
+		"",
+	}, "\n")
+	if got := p.String(); got != want {
+		t.Errorf("Vec rendering mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
 func TestHistogramEmptyBuckets(t *testing.T) {
 	// The integer Histogram used by the simulator: empty and
 	// out-of-range behavior.
