@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build bin test race vet fmt verify bench serve chaos cover fuzz cluster
+.PHONY: build bin test race vet fmt verify bench serve chaos cover fuzz cluster sample
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,14 @@ chaos:
 cluster:
 	$(GO) test -count=1 -v -run 'TestClusterE2E' ./cmd/hbserved
 
+# Sampled-vs-full validation across all nine workload models: the
+# interval sampler must cut timed measure-phase cycles at least 10x
+# while keeping IPC within 2% of exhaustive simulation. (CI runs the
+# -short subset — best- and worst-error models — on every push; this
+# full sweep is the release gate.)
+sample:
+	$(GO) test -count=1 -v -run TestSampledVsFull -timeout 20m ./internal/sim
+
 # Run the simulation service locally with sensible dev defaults.
 serve:
 	$(GO) run ./cmd/hbserved -addr :8080 -cache-dir $${HBCACHE_DIR:-$$HOME/.cache/hbcache}
@@ -55,12 +63,16 @@ cover:
 	$(GO) test -shuffle=on -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Short-budget native fuzzing of the whole simulator under invariant
-# checking. FUZZTIME bounds the run (CI uses 30s); found crashers land
-# in internal/sim/testdata/fuzz and re-run as regular tests forever.
+# Short-budget native fuzzing: the whole simulator under invariant
+# checking, plus the snapshot codec (decode of adversarial checkpoint
+# bytes must reject or round-trip, never panic). Go allows one -fuzz
+# pattern per invocation, so the targets run back to back. FUZZTIME
+# bounds each run (CI uses 30s); found crashers land in the package's
+# testdata/fuzz and re-run as regular tests forever.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRunContext -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/snapshot
 
 # Benchmark run: BENCH selects the pattern, BENCH_COUNT the repetitions
 # (use BENCH_COUNT=10 with benchstat for before/after comparisons). The

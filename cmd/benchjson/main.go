@@ -35,6 +35,11 @@ type report struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	Benchmarks []sample `json:"benchmarks"`
+	// SampledSpeedup is the mean "sampled-speedup" custom metric across
+	// the run — the interval-sampling subsystem's headline number,
+	// surfaced at the top level so trackers don't need to know which
+	// benchmark reports it. Omitted when no sampled benchmark ran.
+	SampledSpeedup float64 `json:"sampled_speedup,omitempty"`
 }
 
 func main() {
@@ -61,6 +66,7 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
 	}
+	rep.SampledSpeedup = sampledSpeedup(rep.Benchmarks)
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -101,6 +107,23 @@ func parseLine(line string) (sample, bool) {
 		return sample{}, false
 	}
 	return s, true
+}
+
+// sampledSpeedup averages the "sampled-speedup" metric over every
+// sample that reports it, or returns 0 when none does.
+func sampledSpeedup(samples []sample) float64 {
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		if v, ok := s.Metrics["sampled-speedup"]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // lastDashPart returns the text after the final '-' if it is numeric

@@ -37,6 +37,20 @@ func TestParseLineRejectsNonResults(t *testing.T) {
 	}
 }
 
+func TestSampledSpeedup(t *testing.T) {
+	samples := []sample{
+		{Name: "BenchmarkFullSimulation", Metrics: map[string]float64{"ns/op": 1}},
+		{Name: "BenchmarkSampledSimulation", Metrics: map[string]float64{"ns/op": 1, "sampled-speedup": 12.0}},
+		{Name: "BenchmarkSampledSimulation", Metrics: map[string]float64{"ns/op": 1, "sampled-speedup": 12.4}},
+	}
+	if got := sampledSpeedup(samples); got != 12.2 {
+		t.Errorf("sampledSpeedup = %v, want 12.2", got)
+	}
+	if got := sampledSpeedup(samples[:1]); got != 0 {
+		t.Errorf("sampledSpeedup without the metric = %v, want 0", got)
+	}
+}
+
 func TestParseLineKeepsNonNumericSuffix(t *testing.T) {
 	s, ok := parseLine("BenchmarkFoo/sub-case 10 5.0 ns/op")
 	if !ok {

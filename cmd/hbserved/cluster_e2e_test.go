@@ -20,6 +20,7 @@ import (
 
 	"hbcache/internal/cpu"
 	"hbcache/internal/mem"
+	"hbcache/internal/runner"
 	"hbcache/internal/service"
 	"hbcache/internal/sim"
 )
@@ -290,6 +291,104 @@ func TestClusterE2E(t *testing.T) {
 	}
 	if rd.Cluster == nil || rd.Cluster.Reachable != 2 || rd.Cluster.Total != 2 {
 		t.Errorf("coordinator cluster block = %+v, want 2/2 reachable", rd.Cluster)
+	}
+}
+
+// storeKeys lists the keys a server's result store serves over HTTP.
+func storeKeys(t *testing.T, base string) []string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/store = %d", resp.StatusCode)
+	}
+	var body struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Keys
+}
+
+// TestClusterE2ECoordinatorDiskStore pins coordinator-side store
+// persistence: with -store disk the fleet's shared result space lives
+// in -cache-dir, so after the coordinator dies by SIGKILL and restarts
+// on the same directory, every sealed entry is still served at
+// /v1/store/{key} and a resubmitted sweep costs the fleet zero new
+// simulations.
+func TestClusterE2ECoordinatorDiskStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; skipped in -short")
+	}
+	bin := binary(t)
+	cacheDir := t.TempDir()
+
+	coordAddr := freePort(t)
+	coordURL := "http://" + coordAddr
+	w1 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2", "-store", "remote", "-store-url", coordURL)
+	coordArgs := []string{
+		"-addr", coordAddr,
+		"-role", "coordinator",
+		"-workers", w1.base,
+		"-store", "disk",
+		"-cache-dir", cacheDir,
+	}
+	coord := startProc(t, bin, coordArgs...)
+
+	cfgs := make([]sim.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = e2eConfig(i+200, 20000)
+	}
+	res := awaitSweep(t, coord.base, submitSweep(t, coord.base, cfgs), 2*time.Minute)
+	if res.Failed != 0 {
+		t.Fatalf("sweep failed %d points", res.Failed)
+	}
+	keys := storeKeys(t, coord.base)
+	if len(keys) != len(cfgs) {
+		t.Fatalf("store holds %d keys after the sweep, want %d", len(keys), len(cfgs))
+	}
+	simsBefore := scrapeCounter(t, w1.base, "hbserved_runner_simulated_total")
+	if simsBefore != float64(len(cfgs)) {
+		t.Fatalf("worker simulated %v points, want %d", simsBefore, len(cfgs))
+	}
+
+	// The unclean death: nothing flushes, nothing hands over. Only the
+	// disk store survives.
+	coord.kill(t)
+	coord = startProc(t, bin, coordArgs...)
+
+	after := storeKeys(t, coord.base)
+	if len(after) != len(keys) {
+		t.Fatalf("store serves %d keys after restart, want %d", len(after), len(keys))
+	}
+	for _, key := range keys {
+		resp, err := http.Get(coord.base + "/v1/store/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e runner.StoreEntry
+		err = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			t.Fatalf("GET /v1/store/%s after restart = %d (err %v)", key, resp.StatusCode, err)
+		}
+		if !e.Verify(key) {
+			t.Fatalf("entry %s failed verification after restart", key)
+		}
+	}
+
+	// Resubmitting the sweep must be answered entirely from the
+	// persisted store: the worker's simulator never runs again.
+	rerun := awaitSweep(t, coord.base, submitSweep(t, coord.base, cfgs), time.Minute)
+	if rerun.Failed != 0 {
+		t.Fatalf("post-restart rerun failed %d points", rerun.Failed)
+	}
+	if sims := scrapeCounter(t, w1.base, "hbserved_runner_simulated_total"); sims != simsBefore {
+		t.Errorf("post-restart rerun consumed %v extra simulations, want 0", sims-simsBefore)
 	}
 }
 

@@ -106,6 +106,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
 		cacheDir   = fs.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
+		snapDir    = fs.String("snapshot-dir", "", "checkpoint directory: jobs share prewarm snapshots and budget-truncated jobs park resumable checkpoints (POST /v1/jobs/{id}/resume)")
 		workers    = fs.Int("j", 0, "concurrent simulations (0 = all CPUs)")
 		queueSize  = fs.Int("queue", 64, "bounded job queue size; a full queue answers 429")
 		jobTimeout = fs.Duration("job-timeout", 0, "per-job wall-time cap (0 = none)")
@@ -233,6 +234,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	r, err := runner.New(runner.Options{
 		Workers:      conc,
 		CacheDir:     diskDir,
+		SnapshotDir:  *snapDir,
 		Store:        store,
 		Sim:          simFn,
 		SimTimeout:   *jobTimeout,

@@ -8,6 +8,9 @@
 //	hbsim -bench tomcatv -size 512K -hit 2 -ports banked -banks 8
 //	hbsim -bench database -dram 6 -lb
 //	hbsim -bench gcc -size 64K -hit 1 -ports duplicate -lb -cycle 29
+//	hbsim -bench gcc -insts 24000000 -sample 24000,1500,500
+//	hbsim -bench gcc -max-cycles 100000 -snapshot ckpt.json
+//	hbsim -resume ckpt.json
 package main
 
 import (
@@ -43,6 +46,10 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); exceeding it is an error")
 		maxCyc  = flag.Uint64("max-cycles", 0, "simulated-cycle budget for the run (0 = unlimited); exceeding it is an error")
 		chk     = flag.Bool("check", false, "run with cycle-level invariant checking (slow; fails on any machine-state violation)")
+		snapOut = flag.String("snapshot", "", "checkpoint file: written at -snapshot-at cycles, and on budget abort so the run can be resumed")
+		snapAt  = flag.Uint64("snapshot-at", 0, "simulated cycle at which to write the -snapshot checkpoint (0 = only on abort)")
+		resume  = flag.String("resume", "", "resume from this checkpoint; its embedded config replaces the config flags")
+		sample  = flag.String("sample", "", "interval sampling plan \"interval,window,warmup\" in instructions (e.g. 24000,1500,500)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -102,14 +109,37 @@ func main() {
 		Memory:       memory,
 		MeasureInsts: *measure,
 		PrewarmMode:  sim.PrewarmMode(*prewarm),
-	}.WithDefaults()
+	}
+	if *sample != "" {
+		spec, err := parseSample(*sample)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Sample = spec
+	}
+	if *resume != "" {
+		// A checkpoint only resumes onto the exact machine it captured,
+		// so the embedded config is the config — the flags above are
+		// ignored rather than silently mismatched.
+		st, err := sim.ReadSnapshot(*resume, nil)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = st.Config
+		fmt.Printf("resuming             %s (%s, phase %s)\n", *resume, cfg.Benchmark, st.Phase)
+	}
+	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
 	res, err := sim.RunContext(context.Background(), cfg, sim.RunOpts{
-		Timeout:   *timeout,
-		MaxCycles: *maxCyc,
-		Check:     *chk,
+		Timeout:         *timeout,
+		MaxCycles:       *maxCyc,
+		Check:           *chk,
+		Resume:          *resume,
+		SnapshotPath:    *snapOut,
+		SnapshotAt:      *snapAt,
+		SnapshotOnAbort: *snapOut,
 	})
 	if err != nil {
 		fatal(err)
@@ -134,6 +164,28 @@ func main() {
 	fmt.Printf("forwarded loads      %d\n", s.LoadForwarded)
 	fmt.Printf("stalls (window/LSQ/fetch/storebuf) %d / %d / %d / %d\n",
 		s.WindowFull, s.LSQFull, s.FetchBlocked, s.StoreBufStalls)
+	if sm := res.Sampled; sm != nil {
+		fmt.Printf("sampled              %d windows, %d/%d insts timed, %.1fx timed-cycle speedup, ±%.2f%% IPC (95%% CI)\n",
+			sm.Windows, sm.TimedInsts, sm.TotalInsts, sm.Speedup, 100*sm.IPCErrorBound)
+	}
+}
+
+// parseSample decodes "interval,window,warmup" (instruction counts)
+// into a sampling plan.
+func parseSample(s string) (*sim.SampleSpec, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -sample %q: want \"interval,window,warmup\"", s)
+	}
+	var vals [3]uint64
+	for i, p := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sample %q: %v", s, err)
+		}
+		vals[i] = n
+	}
+	return &sim.SampleSpec{IntervalInsts: vals[0], WindowInsts: vals[1], WarmupInsts: vals[2]}, nil
 }
 
 func parseSize(s string) (int, error) {

@@ -15,6 +15,8 @@
 //	hbsweep -bench all -sizes 32K -hits 1 -ports duplicate -lb both -cycle 20
 //	hbsweep -bench database -sizes 4K,16K,64K,256K,1M -hits 1,2,3 -ports ideal2 > sweep.csv
 //	hbsweep -bench all -sizes 4K,8K,16K,32K,64K -hits 1,2,3 -j 16 -cache-dir ~/.hbcache -progress
+//	hbsweep -bench all -sizes 8K,32K,128K -insts 24000000 -sample 24000,1500,500
+//	hbsweep -bench all -sizes 8K,32K -snapshot-dir ~/.hbcache/snap -max-cycles 50000000
 package main
 
 import (
@@ -51,13 +53,15 @@ type sweepSpec struct {
 	warmup      uint64
 	insts       uint64
 	prewarmMode sim.PrewarmMode
+	sample      *sim.SampleSpec
 
-	workers   int
-	cacheDir  string
-	progress  bool
-	timeout   time.Duration
-	maxCycles uint64
-	check     bool
+	workers     int
+	cacheDir    string
+	snapshotDir string
+	progress    bool
+	timeout     time.Duration
+	maxCycles   uint64
+	check       bool
 }
 
 func main() {
@@ -75,6 +79,8 @@ func main() {
 		pwMode   = flag.String("prewarm-mode", "", "prewarm mode: fast-forward (default), stream, timing")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
+		snapDir  = flag.String("snapshot-dir", "", "checkpoint directory: sweep neighbors share prewarm snapshots and budget-truncated points park resumable checkpoints here")
+		sample   = flag.String("sample", "", "interval sampling plan \"interval,window,warmup\" in instructions, applied to every point")
 		progress = flag.Bool("progress", false, "report progress on stderr while the sweep runs")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per point (0 = unlimited); a point over budget fails the sweep")
 		maxCyc   = flag.Uint64("max-cycles", 0, "simulated-cycle budget per point (0 = unlimited)")
@@ -118,12 +124,18 @@ func main() {
 		prewarmMode: sim.PrewarmMode(*pwMode),
 		workers:     *workers,
 		cacheDir:    *cacheDir,
+		snapshotDir: *snapDir,
 		progress:    *progress,
 		timeout:     *timeout,
 		maxCycles:   *maxCyc,
 		check:       *chk,
 	}
 	var err error
+	if *sample != "" {
+		if spec.sample, err = parseSample(*sample); err != nil {
+			fatal(err)
+		}
+	}
 	if spec.benches, err = parseBenches(*benches); err != nil {
 		fatal(err)
 	}
@@ -158,7 +170,7 @@ func (s sweepSpec) configs() []sim.Config {
 			for _, hit := range s.hits {
 				for _, pc := range s.ports {
 					for _, useLB := range s.lbs {
-						cfgs = append(cfgs, sim.Config{
+						cfg := sim.Config{
 							Benchmark:    bench,
 							Seed:         s.seed,
 							CPU:          cpu.DefaultConfig(),
@@ -167,7 +179,12 @@ func (s sweepSpec) configs() []sim.Config {
 							WarmupInsts:  s.warmup,
 							MeasureInsts: s.insts,
 							PrewarmMode:  s.prewarmMode,
-						})
+						}
+						if s.sample != nil {
+							spec := *s.sample // each point owns its plan
+							cfg.Sample = &spec
+						}
+						cfgs = append(cfgs, cfg)
 					}
 				}
 			}
@@ -184,6 +201,7 @@ func runSweep(ctx context.Context, out, errw io.Writer, spec sweepSpec) (runner.
 	opts := runner.Options{
 		Workers:      spec.workers,
 		CacheDir:     spec.cacheDir,
+		SnapshotDir:  spec.snapshotDir,
 		SimTimeout:   spec.timeout,
 		SimMaxCycles: spec.maxCycles,
 		SimCheck:     spec.check,
@@ -267,6 +285,24 @@ func parseSize(s string) (int, error) {
 		return 0, fmt.Errorf("bad size %q", s)
 	}
 	return n * mult, nil
+}
+
+// parseSample decodes "interval,window,warmup" (instruction counts)
+// into a sampling plan.
+func parseSample(s string) (*sim.SampleSpec, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad -sample %q: want \"interval,window,warmup\"", s)
+	}
+	var vals [3]uint64
+	for i, p := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sample %q: %v", s, err)
+		}
+		vals[i] = n
+	}
+	return &sim.SampleSpec{IntervalInsts: vals[0], WindowInsts: vals[1], WarmupInsts: vals[2]}, nil
 }
 
 func parsePorts(s string) (mem.PortConfig, error) {

@@ -8,6 +8,7 @@
 //	hbtrace -bench gcc -cycles 60
 //	hbtrace -bench database -size 8K -skip 5000 -cycles 40
 //	hbtrace -bench tomcatv -summary -cycles 50000
+//	hbtrace -resume ckpt.json -cycles 60
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"hbcache/internal/cpu"
 	"hbcache/internal/mem"
+	"hbcache/internal/sim"
 	"hbcache/internal/workload"
 )
 
@@ -31,20 +33,40 @@ func main() {
 		cycles  = flag.Uint64("cycles", 50, "cycles to trace")
 		summary = flag.Bool("summary", false, "print only the end-of-trace summary")
 		seed    = flag.Uint64("seed", 1, "workload seed")
+		resume  = flag.String("resume", "", "trace from this checkpoint instead of a cold machine; config flags are ignored")
 	)
 	flag.Parse()
 
-	gen, err := workload.New(*bench, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	sys, err := mem.NewSystem(mem.DefaultSRAMSystem(*size<<10, *hit, mem.PortConfig{Kind: mem.DuplicatePorts}, *lb))
-	if err != nil {
-		fatal(err)
-	}
-	core, err := cpu.New(cpu.DefaultConfig(), gen, sys.L1)
-	if err != nil {
-		fatal(err)
+	var (
+		core *cpu.CPU
+		sys  *mem.System
+	)
+	if *resume != "" {
+		// Tracing from a checkpoint shows the pipeline exactly where a
+		// long run left off — the usual triage move when a resumed run
+		// diverges or stalls. The checkpoint's config is authoritative.
+		st, err := sim.ReadSnapshot(*resume, nil)
+		if err != nil {
+			fatal(err)
+		}
+		core, sys, _, err = st.Restore()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed %s: %s at cycle %d (phase %s)\n", *resume, st.Config.Benchmark, core.Now(), st.Phase)
+	} else {
+		gen, err := workload.New(*bench, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err = mem.NewSystem(mem.DefaultSRAMSystem(*size<<10, *hit, mem.PortConfig{Kind: mem.DuplicatePorts}, *lb))
+		if err != nil {
+			fatal(err)
+		}
+		core, err = cpu.New(cpu.DefaultConfig(), gen, sys.L1)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	for i := uint64(0); i < *skip; i++ {

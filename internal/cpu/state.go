@@ -1,0 +1,221 @@
+package cpu
+
+import (
+	"fmt"
+
+	"hbcache/internal/isa"
+	"hbcache/internal/mem"
+)
+
+// ROBEntry mirrors the unexported window entry for serialization.
+type ROBEntry struct {
+	Inst        isa.Inst `json:"inst"`
+	Seq         uint64   `json:"seq"`
+	SrcSeq1     uint64   `json:"src_seq1"`
+	SrcSeq2     uint64   `json:"src_seq2"`
+	DoneAt      uint64   `json:"done_at"`
+	AddrReadyAt uint64   `json:"addr_ready_at"`
+	Mispredict  bool     `json:"mispredict"`
+	IssueAt     uint64   `json:"issue_at"`
+}
+
+// PredictorState is the branch predictor's mutable state.
+type PredictorState struct {
+	Counters    []uint8 `json:"counters"`
+	History     uint64  `json:"history"`
+	Predictions uint64  `json:"predictions"`
+	Mispredicts uint64  `json:"mispredicts"`
+}
+
+// State is the core's complete mutable microarchitectural state: the
+// window (every slot, live or not, so a restore is byte-exact), the
+// wakeup bitsets and timing wheel, the store-forwarding structures, the
+// front-end cursor, the statistics, and the predictor. Geometry (config,
+// reader, memory) is not serialized — a restore target is built from
+// the same Config and validated against it. Budget state (SetBudget)
+// and the checker are deliberately excluded; callers reinstall both
+// after ImportState.
+type State struct {
+	Now uint64 `json:"now"`
+
+	ROB       []ROBEntry `json:"rob"`
+	SlotState []uint8    `json:"slot_state"`
+	Head      int        `json:"head"`
+	Count     int        `json:"count"`
+	HeadSeq   uint64     `json:"head_seq"`
+	NextSeq   uint64     `json:"next_seq"`
+	LSQCount  int        `json:"lsq_count"`
+
+	ReadyMask  []uint64 `json:"ready_mask"`
+	PortMask   []uint64 `json:"port_mask"`
+	Wake       []uint64 `json:"wake"`
+	NReady     []uint8  `json:"nready"`
+	ReadyCount int      `json:"ready_count"`
+	PortCount  int      `json:"port_count"`
+	WheelHead  []int32  `json:"wheel_head"`
+	WheelNext  []int32  `json:"wheel_next"`
+
+	StoreSeqBuf  []uint64 `json:"store_seq_buf"`
+	StoreSeqHead int      `json:"store_seq_head"`
+	StoreSeqN    int      `json:"store_seq_n"`
+	StoreBlkCnt  []uint8  `json:"store_blk_cnt"`
+
+	RegProducer []uint64 `json:"reg_producer"`
+
+	TraceDone     bool     `json:"trace_done"`
+	PendingInst   isa.Inst `json:"pending_inst"`
+	PendingValid  bool     `json:"pending_valid"`
+	MispredictSeq uint64   `json:"mispredict_seq"`
+	FetchResumeAt uint64   `json:"fetch_resume_at"`
+
+	Stats              Stats `json:"stats"`
+	RetireStalledStore bool  `json:"retire_stalled_store"`
+
+	Predictor PredictorState `json:"predictor"`
+}
+
+// ExportState captures the core's mutable state.
+func (c *CPU) ExportState() State {
+	st := State{
+		Now:                uint64(c.now),
+		ROB:                make([]ROBEntry, len(c.rob)),
+		SlotState:          append([]uint8(nil), c.state...),
+		Head:               c.head,
+		Count:              c.count,
+		HeadSeq:            c.headSeq,
+		NextSeq:            c.nextSeq,
+		LSQCount:           c.lsqCount,
+		ReadyMask:          append([]uint64(nil), c.readyMask...),
+		PortMask:           append([]uint64(nil), c.portMask...),
+		Wake:               append([]uint64(nil), c.wake...),
+		NReady:             append([]uint8(nil), c.nready...),
+		ReadyCount:         c.readyCount,
+		PortCount:          c.portCount,
+		WheelHead:          append([]int32(nil), c.wheelHead...),
+		WheelNext:          append([]int32(nil), c.wheelNext...),
+		StoreSeqBuf:        append([]uint64(nil), c.storeSeqs.buf...),
+		StoreSeqHead:       c.storeSeqs.head,
+		StoreSeqN:          c.storeSeqs.n,
+		StoreBlkCnt:        append([]uint8(nil), c.storeBlkCnt[:]...),
+		RegProducer:        append([]uint64(nil), c.regProducer[:]...),
+		TraceDone:          c.traceDone,
+		PendingInst:        c.pendingInst,
+		PendingValid:       c.pendingValid,
+		MispredictSeq:      c.mispredictSeq,
+		FetchResumeAt:      uint64(c.fetchResumeAt),
+		Stats:              c.stats,
+		RetireStalledStore: c.retireStalledStore,
+		Predictor: PredictorState{
+			Counters:    append([]uint8(nil), c.pred.counters...),
+			History:     c.pred.history,
+			Predictions: c.pred.predictions.Value(),
+			Mispredicts: c.pred.mispredicts.Value(),
+		},
+	}
+	for i := range c.rob {
+		e := &c.rob[i]
+		st.ROB[i] = ROBEntry{
+			Inst:        e.inst,
+			Seq:         e.seq,
+			SrcSeq1:     e.srcSeq1,
+			SrcSeq2:     e.srcSeq2,
+			DoneAt:      uint64(e.doneAt),
+			AddrReadyAt: uint64(e.addrReadyAt),
+			Mispredict:  e.mispredicted,
+			IssueAt:     uint64(e.issueAt),
+		}
+	}
+	return st
+}
+
+// ImportState restores state exported from a core built with the same
+// Config. Every slice length is validated against the receiver's
+// geometry before anything is mutated, so a snapshot from a different
+// configuration is rejected whole. The budget (SetBudget) and checker
+// are untouched; reinstall them after a restore. CheckInvariants can be
+// used afterwards to cross-check the imported redundant bookkeeping.
+func (c *CPU) ImportState(st State) error {
+	type dim struct {
+		name string
+		got  int
+		want int
+	}
+	for _, d := range []dim{
+		{"rob", len(st.ROB), len(c.rob)},
+		{"slot_state", len(st.SlotState), len(c.state)},
+		{"ready_mask", len(st.ReadyMask), len(c.readyMask)},
+		{"port_mask", len(st.PortMask), len(c.portMask)},
+		{"wake", len(st.Wake), len(c.wake)},
+		{"nready", len(st.NReady), len(c.nready)},
+		{"wheel_head", len(st.WheelHead), len(c.wheelHead)},
+		{"wheel_next", len(st.WheelNext), len(c.wheelNext)},
+		{"store_seq_buf", len(st.StoreSeqBuf), len(c.storeSeqs.buf)},
+		{"store_blk_cnt", len(st.StoreBlkCnt), len(c.storeBlkCnt)},
+		{"reg_producer", len(st.RegProducer), len(c.regProducer)},
+		{"predictor counters", len(st.Predictor.Counters), len(c.pred.counters)},
+	} {
+		if d.got != d.want {
+			return fmt.Errorf("cpu: snapshot %s has %d entries, core geometry wants %d", d.name, d.got, d.want)
+		}
+	}
+	switch {
+	case st.Head < 0 || st.Head >= len(c.rob):
+		return fmt.Errorf("cpu: snapshot head %d outside window of %d", st.Head, len(c.rob))
+	case st.Count < 0 || st.Count > len(c.rob):
+		return fmt.Errorf("cpu: snapshot count %d outside [0,%d]", st.Count, len(c.rob))
+	case st.LSQCount < 0 || st.LSQCount > len(c.storeSeqs.buf)+len(c.rob):
+		return fmt.Errorf("cpu: snapshot lsq count %d implausible", st.LSQCount)
+	case st.StoreSeqHead < 0 || st.StoreSeqHead >= len(c.storeSeqs.buf):
+		return fmt.Errorf("cpu: snapshot store ring head %d outside [0,%d)", st.StoreSeqHead, len(c.storeSeqs.buf))
+	case st.StoreSeqN < 0 || st.StoreSeqN > len(c.storeSeqs.buf):
+		return fmt.Errorf("cpu: snapshot store ring occupancy %d outside [0,%d]", st.StoreSeqN, len(c.storeSeqs.buf))
+	case st.HeadSeq == 0 || st.NextSeq == 0:
+		return fmt.Errorf("cpu: snapshot sequence numbers must start at 1")
+	}
+	c.now = mem.Cycle(st.Now)
+	for i := range c.rob {
+		e := st.ROB[i]
+		c.rob[i] = entry{
+			inst:         e.Inst,
+			seq:          e.Seq,
+			srcSeq1:      e.SrcSeq1,
+			srcSeq2:      e.SrcSeq2,
+			doneAt:       mem.Cycle(e.DoneAt),
+			addrReadyAt:  mem.Cycle(e.AddrReadyAt),
+			mispredicted: e.Mispredict,
+			issueAt:      mem.Cycle(e.IssueAt),
+		}
+	}
+	copy(c.state, st.SlotState)
+	c.head = st.Head
+	c.count = st.Count
+	c.headSeq = st.HeadSeq
+	c.nextSeq = st.NextSeq
+	c.lsqCount = st.LSQCount
+	copy(c.readyMask, st.ReadyMask)
+	copy(c.portMask, st.PortMask)
+	copy(c.wake, st.Wake)
+	copy(c.nready, st.NReady)
+	c.readyCount = st.ReadyCount
+	c.portCount = st.PortCount
+	copy(c.wheelHead, st.WheelHead)
+	copy(c.wheelNext, st.WheelNext)
+	copy(c.storeSeqs.buf, st.StoreSeqBuf)
+	c.storeSeqs.head = st.StoreSeqHead
+	c.storeSeqs.n = st.StoreSeqN
+	copy(c.storeBlkCnt[:], st.StoreBlkCnt)
+	copy(c.regProducer[:], st.RegProducer)
+	c.traceDone = st.TraceDone
+	c.pendingInst = st.PendingInst
+	c.pendingValid = st.PendingValid
+	c.mispredictSeq = st.MispredictSeq
+	c.fetchResumeAt = mem.Cycle(st.FetchResumeAt)
+	c.stats = st.Stats
+	c.retireStalledStore = st.RetireStalledStore
+	c.stopped = false
+	copy(c.pred.counters, st.Predictor.Counters)
+	c.pred.history = st.Predictor.History
+	c.pred.predictions = Counter(st.Predictor.Predictions)
+	c.pred.mispredicts = Counter(st.Predictor.Mispredicts)
+	return c.CheckInvariants()
+}

@@ -69,6 +69,14 @@ const (
 	// SiteStoreRemotePut fires on every remote-store write; an injected
 	// error drops the write, which the runner tolerates by design.
 	SiteStoreRemotePut = "store.remote.put"
+	// SiteSnapshotRead fires on every simulation-snapshot load. Corrupt
+	// or injected-error loads are quarantined/treated as missing — a run
+	// never silently resumes from bad state.
+	SiteSnapshotRead = "snapshot.read"
+	// SiteSnapshotWrite fires on every simulation-snapshot store; a
+	// KindCorrupt rule at the same site mangles the serialized snapshot
+	// after checksumming, producing a genuinely corrupt file on disk.
+	SiteSnapshotWrite = "snapshot.write"
 )
 
 // ErrInjected is returned from sites where a KindError rule activates.

@@ -67,6 +67,13 @@ type Options struct {
 	// magnitude slower; a violation fails the job with
 	// sim.ErrCheckFailed, which is fatal (deterministic), not retried.
 	SimCheck bool
+	// SnapshotDir, when non-empty, enables checkpoint/restore for the
+	// default simulator: sweep neighbors sharing a prewarm projection
+	// reuse one prewarm snapshot instead of each re-warming from cold,
+	// and budget-truncated jobs (SimMaxCycles/SimTimeout) park an abort
+	// snapshot there so a re-submission resumes instead of restarting.
+	// Ignored when Sim is set.
+	SnapshotDir string
 	// Faults, when non-nil, is the chaos registry threaded through the
 	// simulator and the disk cache's fault sites.
 	Faults *fault.Registry
@@ -189,8 +196,12 @@ func New(opts Options) (*Runner, error) {
 			Faults:    opts.Faults,
 			Check:     opts.SimCheck,
 		}
-		simFn = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
-			return sim.RunContext(ctx, cfg, runOpts)
+		if opts.SnapshotDir != "" {
+			simFn = snapshotSim(opts.SnapshotDir, runOpts)
+		} else {
+			simFn = func(ctx context.Context, cfg sim.Config) (sim.Result, error) {
+				return sim.RunContext(ctx, cfg, runOpts)
+			}
 		}
 	}
 	backoff := opts.RetryBackoff

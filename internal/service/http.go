@@ -39,6 +39,7 @@ type errorResponse struct {
 //	GET  /v1/jobs/{id}                            job status + result
 //	GET  /v1/jobs/{id}/result                     bare sim result
 //	GET  /v1/jobs/{id}/events                     SSE progress stream
+//	POST /v1/jobs/{id}/resume                     re-enqueue a truncated job
 //	POST /v1/sweeps          {"configs": [...]}   submit a batch
 //	GET  /v1/sweeps/{id}                          sweep status
 //	GET  /v1/sweeps/{id}/results                  per-point results (partial OK)
@@ -57,6 +58,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleGetResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResumeJob)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
@@ -155,6 +157,15 @@ func (s *Service) handleGetResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusAccepted, view)
 	}
+}
+
+func (s *Service) handleResumeJob(w http.ResponseWriter, r *http.Request) {
+	view, err := s.Resume(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
 }
 
 func (s *Service) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {

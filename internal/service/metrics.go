@@ -32,6 +32,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Counter("hbserved_jobs_rejected_total", "Submissions refused with 429 because the queue was full.", float64(s.rejected))
 	p.Counter("hbserved_jobs_done_total", "Jobs finished successfully.", float64(s.doneJobs))
 	p.Counter("hbserved_jobs_failed_total", "Jobs finished with an error.", float64(s.failedJobs))
+	p.Counter("hbserved_jobs_resumed_total", "Truncated jobs re-enqueued via the resume endpoint.", float64(s.resumedJobs))
 
 	p.Counter("hbserved_runner_done_total", "Runner jobs completed by any path.", float64(rm.Done))
 	p.Counter("hbserved_runner_simulated_total", "Runner jobs that ran the simulator.", float64(rm.Simulated))

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"hbcache/internal/cpu"
+	"hbcache/internal/mem"
+	"hbcache/internal/runner"
+	"hbcache/internal/sim"
+)
+
+// resumeConfig is small enough that the cold run finishes fast but big
+// enough that a 5000-cycle budget truncates it repeatedly.
+func resumeConfig() sim.Config {
+	return sim.Config{
+		Benchmark:    "gcc",
+		Seed:         1,
+		CPU:          cpu.DefaultConfig(),
+		Memory:       mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true),
+		PrewarmInsts: 100_000,
+		WarmupInsts:  5_000,
+		MeasureInsts: 40_000,
+	}
+}
+
+// newTruncatingService wires a real-simulator runner whose cycle budget
+// truncates resumeConfig, with a snapshot dir so truncated attempts
+// park abort checkpoints.
+func newTruncatingService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	r, err := runner.New(runner.Options{
+		Workers:      1,
+		SnapshotDir:  t.TempDir(),
+		SimMaxCycles: 5_000,
+		RetryBackoff: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(r, Options{QueueSize: 8, Concurrency: 1})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+		ts.Close()
+	})
+	return svc, ts
+}
+
+// TestServiceResumeTruncatedJob is the acceptance test for the resume
+// endpoint's semantics: a budget-truncated job parks an abort snapshot,
+// each resume continues it from that checkpoint, and the final result
+// is identical to an untruncated run of the same config.
+func TestServiceResumeTruncatedJob(t *testing.T) {
+	cfg := resumeConfig()
+
+	cold, err := runner.New(runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.RunOne(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc, _ := newTruncatingService(t)
+	view, _, err := svc.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := view.ID
+
+	resumes := 0
+	for {
+		view = waitState(t, svc, id)
+		if view.State == StateDone {
+			break
+		}
+		if view.State != StateFailed || !view.Truncated {
+			t.Fatalf("job reached %s (truncated=%v, error %q); expected budget truncation", view.State, view.Truncated, view.Error)
+		}
+		resumes++
+		if resumes > 50 {
+			t.Fatal("resume chain did not terminate")
+		}
+		if _, err := svc.Resume(id); err != nil {
+			t.Fatalf("resume %d: %v", resumes, err)
+		}
+	}
+	if resumes < 1 {
+		t.Fatal("job completed without truncation; the resume path was never exercised")
+	}
+	t.Logf("completed after %d resumes", resumes)
+	if view.Result == nil || !reflect.DeepEqual(*view.Result, want) {
+		t.Fatalf("resumed result diverges from untruncated run:\nwant %+v\ngot  %+v", want, view.Result)
+	}
+
+	// A completed job is not resumable.
+	if _, err := svc.Resume(id); err == nil {
+		t.Fatal("resume of a completed job succeeded")
+	}
+}
+
+// TestResumeEndpoint drives the HTTP surface: 404 for unknown jobs,
+// 202 + queued view for a truncated job, 400 once it is done.
+func TestResumeEndpoint(t *testing.T) {
+	svc, ts := newTruncatingService(t)
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/nope/resume", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("resume of unknown job: %d, want 404", resp.StatusCode)
+	}
+
+	view, _, err := svc.Submit(resumeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := waitState(t, svc, view.ID)
+	if failed.State != StateFailed || !failed.Truncated {
+		t.Fatalf("seed job reached %s truncated=%v; want truncated failure", failed.State, failed.Truncated)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs/"+view.ID+"/resume", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume of truncated job: %d %s, want 202", resp.StatusCode, body)
+	}
+	final := waitState(t, svc, view.ID)
+	for final.State == StateFailed && final.Truncated {
+		if resp, body := postJSON(t, ts.URL+"/v1/jobs/"+view.ID+"/resume", nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("follow-up resume: %d %s", resp.StatusCode, body)
+		}
+		final = waitState(t, svc, view.ID)
+	}
+	if final.State != StateDone {
+		t.Fatalf("resumed job ended %s: %s", final.State, final.Error)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs/"+view.ID+"/resume", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("resume of done job: %d, want 400", resp.StatusCode)
+	}
+}

@@ -185,6 +185,10 @@ type JobView struct {
 	CacheHit bool        `json:"cache_hit,omitempty"`
 	MemoHit  bool        `json:"memo_hit,omitempty"`
 	WallNs   int64       `json:"wall_ns,omitempty"`
+	// Truncated marks a failed job cut down by a deadline or budget
+	// rather than by its own error — exactly the jobs that
+	// POST /v1/jobs/{id}/resume will accept.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // JobSummary is the compact listing form.
@@ -282,24 +286,25 @@ type Service struct {
 	wg        sync.WaitGroup
 	unsub     func()
 
-	mu         sync.Mutex
-	jobs       map[string]*job
-	order      []string
-	byKey      map[string]*job
-	sweeps     map[string]*sweep
-	sweepOrder []string
-	queue      chan *job
-	draining   bool
-	nextJob    int
-	nextSweep  int
-	running    int
-	submitted  uint64
-	deduped    uint64
-	rejected   uint64
-	doneJobs   uint64
-	failedJobs uint64
-	latency    *stats.LatencyHistogram
-	lastRunner runner.Metrics
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string
+	byKey       map[string]*job
+	sweeps      map[string]*sweep
+	sweepOrder  []string
+	queue       chan *job
+	draining    bool
+	nextJob     int
+	nextSweep   int
+	running     int
+	submitted   uint64
+	deduped     uint64
+	rejected    uint64
+	doneJobs    uint64
+	failedJobs  uint64
+	resumedJobs uint64
+	latency     *stats.LatencyHistogram
+	lastRunner  runner.Metrics
 
 	// Circuit breaker state, all under mu.
 	breaker         breakerState
@@ -584,6 +589,50 @@ func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
 	return s.sweepViewLocked(sw), nil
 }
 
+// Resume re-enqueues a failed, deadline- or budget-truncated job for
+// another attempt. When the runner has a snapshot dir, the truncated
+// attempt parked an abort checkpoint, so the new attempt continues
+// where it stopped instead of restarting — each resume makes the same
+// bounded forward progress until the job completes, identical to an
+// untruncated run. Jobs that failed on their own terms (bad machine
+// state, injected faults exhausted their retries) are not resumable
+// this way: re-running a deterministic failure cannot help, so Resume
+// rejects them with ErrInvalid. Sweeps that already counted the job as
+// failed keep their historical counts; the job's own record updates.
+func (s *Service) Resume(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return JobView{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	if j.state != StateFailed || !j.deadlined {
+		return JobView{}, fmt.Errorf("%w: job %s is %s%s; only deadline- or budget-truncated jobs can resume",
+			ErrInvalid, id, j.state, map[bool]string{true: "", false: " and not truncated"}[j.deadlined])
+	}
+	if s.draining {
+		return JobView{}, ErrDraining
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.rejected++
+		return JobView{}, ErrQueueFull
+	}
+	// The runner memoizes failures (deterministic sims fail
+	// deterministically); clear the memo so the job re-executes and
+	// picks up its abort snapshot.
+	if err := s.run.Forget(j.cfg); err != nil {
+		return JobView{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	j.state = StateQueued
+	j.errMsg = ""
+	j.deadlined = false
+	j.res = nil
+	s.resumedJobs++
+	s.appendJobEventLocked(j, Event{Type: "state", State: StateQueued})
+	s.queue <- j // cannot block: len checked under the same lock as all sends
+	return s.viewLocked(j), nil
+}
+
 // runJob executes one queued job on a worker goroutine.
 func (s *Service) runJob(j *job) {
 	s.mu.Lock()
@@ -677,15 +726,16 @@ func notify(watchers map[int]chan struct{}) {
 
 func (s *Service) viewLocked(j *job) JobView {
 	return JobView{
-		ID:       j.id,
-		Key:      j.key,
-		State:    j.state,
-		Config:   j.cfg,
-		Result:   j.res,
-		Error:    j.errMsg,
-		CacheHit: j.cacheHit,
-		MemoHit:  j.memoHit,
-		WallNs:   j.wall.Nanoseconds(),
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		Config:    j.cfg,
+		Result:    j.res,
+		Error:     j.errMsg,
+		CacheHit:  j.cacheHit,
+		MemoHit:   j.memoHit,
+		WallNs:    j.wall.Nanoseconds(),
+		Truncated: j.deadlined,
 	}
 }
 

@@ -4,6 +4,14 @@
 // execution-time study (Figure 9), where the secondary cache and main
 // memory have fixed physical latencies (50 ns, 300 ns) that translate
 // into more processor cycles as the processor gets faster.
+//
+// Runs are resumable: the timed phases execute in fixed instruction
+// chunks whose boundaries are bit-identical to an uninterrupted run, so
+// a checkpoint written at any chunk boundary (RunOpts.SnapshotPath /
+// SnapshotOnAbort) and resumed later (RunOpts.Resume) produces exactly
+// the stats a straight-through run would have. Config.Sample trades
+// that exactness for throughput: only sampled windows of the measure
+// phase are timed and the rest is fast-forwarded functionally.
 package sim
 
 import (
@@ -38,6 +46,11 @@ var (
 	// The simulation's results are meaningless and the bug is
 	// deterministic — this is a simulator defect, not a transient.
 	ErrCheckFailed = errors.New("sim: invariant check failed")
+	// ErrSnapshot means RunOpts.Resume named a snapshot that could not
+	// be used: missing, corrupt (it was quarantined), from an
+	// incompatible format, or recorded for a different configuration.
+	// The caller falls back to a cold start; the run itself was fine.
+	ErrSnapshot = errors.New("sim: unusable snapshot")
 )
 
 // Config is one simulation run. The JSON field names are the stable
@@ -63,6 +76,15 @@ type Config struct {
 	// PrewarmMode selects how PrewarmInsts are consumed; empty means
 	// PrewarmFastForward (see WithDefaults).
 	PrewarmMode PrewarmMode `json:"prewarm_mode,omitempty"`
+
+	// Sample, when set, replaces the exhaustive measure phase with
+	// SimPoint-style interval sampling: only WindowInsts out of every
+	// IntervalInsts are timed (after WarmupInsts of timed re-warm) and
+	// whole-run IPC and miss rates are estimated by weighted
+	// recombination, with the error bound in Result.Sampled. nil (the
+	// default) keeps the canonical encoding — and therefore the
+	// runner's cache keys — unchanged.
+	Sample *SampleSpec `json:"sample,omitempty"`
 }
 
 // PrewarmMode selects how the PrewarmInsts window is fast-forwarded
@@ -125,6 +147,18 @@ type Result struct {
 	MeanLoadLatency float64 `json:"mean_load_latency"`
 
 	CPUStats cpu.Stats `json:"cpu_stats"`
+
+	// StreamHash is the FNV-1a hash over the measured window's retired
+	// instruction stream, present when the run was executed with
+	// RunOpts.Hash. Two runs that report the same hash retired the
+	// identical stream — the bit-identity witness of the resume tests.
+	StreamHash uint64 `json:"stream_hash,omitempty"`
+
+	// Sampled describes the sampling run that produced the estimates
+	// above; nil for exhaustive runs. In sampled mode Cycles and IPC
+	// are whole-run estimates while CPUStats covers only the timed
+	// cycles.
+	Sampled *SampleSummary `json:"sampled,omitempty"`
 }
 
 // WithDefaults returns c with zero instruction windows replaced by the
@@ -168,6 +202,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: unknown prewarm mode %q (want %q, %q or %q)",
 			ErrInvalidConfig, c.PrewarmMode, PrewarmFastForward, PrewarmStream, PrewarmTiming)
 	}
+	if err := c.Sample.validate(c.MeasureInsts); err != nil {
+		return err
+	}
 	sys, err := mem.NewSystem(c.Memory)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
@@ -179,18 +216,21 @@ func (c Config) Validate() error {
 }
 
 // RunOpts bound one simulation run. The zero value means "no limits,
-// no faults" and reproduces Run's behavior exactly.
+// no faults, no snapshots" and reproduces Run's behavior exactly.
 type RunOpts struct {
-	// MaxCycles caps total simulated cycles (timed prewarm, warmup, and
+	// MaxCycles caps simulated cycles (timed prewarm, warmup, and
 	// measurement together, on the core's monotonic clock). Exceeding
-	// it fails the run with ErrBudget. Zero means uncapped.
+	// it fails the run with ErrBudget. Zero means uncapped. A resumed
+	// run gets a fresh allowance of MaxCycles beyond the snapshot's
+	// clock, so every attempt makes the same bounded progress.
 	MaxCycles uint64
 	// Timeout caps the run's wall time; exceeding it fails the run with
 	// ErrBudget. Zero means uncapped.
 	Timeout time.Duration
 	// Faults, when non-nil, is consulted at fault.SiteSimRun before the
-	// simulation starts — chaos tests and failure rehearsal inject
-	// panics, hangs, delays, and errors there.
+	// simulation starts and at the snapshot read/write sites — chaos
+	// tests and failure rehearsal inject panics, hangs, delays, errors,
+	// and snapshot corruption there.
 	Faults *fault.Registry
 	// Check installs the cycle-level invariant checker on the core for
 	// the whole run (timed prewarm, warmup, and measurement). A
@@ -199,6 +239,35 @@ type RunOpts struct {
 	// of magnitude in simulation speed and the hot loop stays
 	// allocation-free only without it.
 	Check bool
+	// Hash installs the FNV stream hasher on the core and reports the
+	// retired stream's hash in Result.StreamHash. Cheap (two words of
+	// state, no allocation), but off by default to keep the default
+	// hot loop checker-free.
+	Hash bool
+
+	// Resume restores machine state from the snapshot at this path and
+	// continues the run from there instead of starting cold. The
+	// snapshot must have been recorded for a compatible config: an
+	// identical resolved config, or — for a prewarm-boundary snapshot —
+	// one agreeing on PrewarmProjection. An unusable snapshot fails
+	// with ErrSnapshot (corrupt files are quarantined to *.corrupt).
+	Resume string
+	// SnapshotPath, with SnapshotAt, writes one checkpoint mid-run: at
+	// the first chunk boundary at or after cycle SnapshotAt (on the
+	// core's monotonic clock), except phase-final boundaries. Resuming
+	// it reproduces the straight-through run bit-identically.
+	SnapshotPath string
+	SnapshotAt   uint64
+	// SnapshotPrewarm writes a checkpoint at the end-of-prewarm
+	// boundary of a fresh run. Any config with the same
+	// PrewarmProjection can resume it, which is how neighboring sweep
+	// points share one prewarm.
+	SnapshotPrewarm string
+	// SnapshotOnAbort writes a checkpoint when the run stops on a
+	// budget or cancellation during a timed phase, so the next attempt
+	// resumes instead of restarting. Never written on ErrCheckFailed (a
+	// broken machine must not be resumed) or in sampled mode.
+	SnapshotOnAbort string
 }
 
 // Run executes one simulation with no cancellation, budget, or fault
@@ -207,15 +276,306 @@ func Run(cfg Config) (Result, error) {
 	return RunContext(context.Background(), cfg, RunOpts{})
 }
 
+// Phase names recorded in snapshots.
+const (
+	phasePrewarm = "prewarm"
+	phaseWarmup  = "warmup"
+	phaseMeasure = "measure"
+)
+
+// runChunk is the timed-phase chunk size in instructions. Run's budget
+// polls only read state, so running a phase as Run(k) chunks is
+// bit-identical to one straight Run call — the property snapshots and
+// resume are built on. 4096 keeps the per-chunk overhead (a few loads
+// and compares) invisible next to the ~4k simulated cycles per chunk.
+const runChunk = 4096
+
+// machine is one assembled simulation mid-flight: the generator, the
+// hierarchy, the core, the optional checkers, and the phase cursor the
+// snapshot subsystem persists.
+type machine struct {
+	cfg  Config // resolved (WithDefaults applied)
+	opts RunOpts
+	ctx  context.Context // caller context, for abort classification
+
+	gen    *workload.Generator
+	sys    *mem.System
+	core   *cpu.CPU
+	stream *check.Stream
+	inv    *check.Invariants
+	stop   *atomic.Bool
+
+	// effMax is the absolute cycle cap on the core's monotonic clock:
+	// opts.MaxCycles for a fresh run, rebased past the snapshot's clock
+	// on resume.
+	effMax uint64
+
+	phase     string
+	remaining uint64 // instructions left in the current phase
+
+	// Measure-phase baselines, captured at ResetStats time.
+	preLoads, preLoadMiss, preStoreMiss, preLB uint64
+
+	snapSaved bool
+}
+
+// newMachine builds the simulation for a resolved config. Constructor
+// failures wrap ErrInvalidConfig.
+func newMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool) (*machine, error) {
+	gen, err := workload.New(cfg.Benchmark, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	sys, err := mem.NewSystem(cfg.Memory)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	core, err := cpu.New(cfg.CPU, gen, sys.L1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	m := &machine{cfg: cfg, opts: opts, ctx: ctx, gen: gen, sys: sys, core: core, stop: stop, effMax: opts.MaxCycles}
+	var checkers []cpu.Checker
+	if opts.Hash {
+		m.stream = check.NewStream()
+		checkers = append(checkers, m.stream)
+	}
+	if opts.Check {
+		// The invariant checker shares the stop flag, so a violation
+		// halts the core within one budget-poll interval just like a
+		// cancellation.
+		m.inv = check.NewInvariants(core, sys, stop)
+		checkers = append(checkers, m.inv)
+	}
+	if len(checkers) > 0 {
+		core.SetChecker(check.Multi(checkers...))
+	}
+	return m, nil
+}
+
+// abortErr names what stopped the run, in classification order: an
+// invariant violation (the run's results are meaningless), then the
+// hard cycle cap, then the caller's context, then the wall budget.
+func (m *machine) abortErr() error {
+	if m.inv != nil && m.inv.Err() != nil {
+		return fmt.Errorf("%w: %v", ErrCheckFailed, m.inv.Err())
+	}
+	if m.effMax > 0 && uint64(m.core.Now()) >= m.effMax {
+		return fmt.Errorf("%w: cycle budget of %d exhausted", ErrBudget, m.opts.MaxCycles)
+	}
+	if err := m.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	return fmt.Errorf("%w: wall budget of %v exhausted", ErrBudget, m.opts.Timeout)
+}
+
 // checkErr converts a latched invariant violation into the run's
 // failure. The stop flag usually aborts the core first, but a
 // violation raised in the final budget-poll interval can let Run
 // finish normally — this catches that case.
-func checkErr(inv *check.Invariants) error {
-	if inv != nil && inv.Err() != nil {
-		return fmt.Errorf("%w: %v", ErrCheckFailed, inv.Err())
+func (m *machine) checkErr() error {
+	if m.inv != nil && m.inv.Err() != nil {
+		return fmt.Errorf("%w: %v", ErrCheckFailed, m.inv.Err())
 	}
 	return nil
+}
+
+// abort classifies the stop and, for resumable stops (budget or
+// cancellation, never a check failure) persists the machine for the
+// next attempt when SnapshotOnAbort asks for one. Sampled runs are
+// estimates over a discontinuous stream and are not resumable.
+func (m *machine) abort() error {
+	err := m.abortErr()
+	if m.opts.SnapshotOnAbort != "" && m.cfg.Sample == nil && !errors.Is(err, ErrCheckFailed) {
+		// A failed save costs only the resumability of this attempt;
+		// the abort itself is the caller's signal either way.
+		_ = m.saveSnapshot(m.opts.SnapshotOnAbort, m.phase, m.remaining)
+	}
+	return err
+}
+
+// runTimed advances the timing model through the current phase's
+// remaining instructions in runChunk pieces, polling for aborts, the
+// checker, and the mid-run snapshot trigger at every boundary.
+func (m *machine) runTimed() error {
+	for m.remaining > 0 && !m.core.Done() {
+		chunk := uint64(runChunk)
+		if chunk > m.remaining {
+			chunk = m.remaining
+		}
+		before := m.core.Stats().Retired
+		m.core.Run(chunk)
+		retired := m.core.Stats().Retired - before
+		if retired >= m.remaining {
+			m.remaining = 0
+		} else {
+			m.remaining -= retired
+		}
+		if m.core.Stopped() {
+			return m.abort()
+		}
+		if err := m.checkErr(); err != nil {
+			return err
+		}
+		// Phase-final boundaries (remaining == 0) are excluded: a
+		// remaining-0 warmup snapshot is reserved for the prewarm
+		// boundary, whose resume semantics differ (see restore).
+		if m.remaining > 0 && m.wantSnapshotAt() {
+			if err := m.saveSnapshot(m.opts.SnapshotPath, m.phase, m.remaining); err != nil {
+				return err
+			}
+			m.snapSaved = true
+		}
+	}
+	return nil
+}
+
+func (m *machine) wantSnapshotAt() bool {
+	return m.opts.SnapshotPath != "" && m.opts.SnapshotAt > 0 && !m.snapSaved &&
+		m.cfg.Sample == nil && uint64(m.core.Now()) >= m.opts.SnapshotAt
+}
+
+// sweep walks every workload region through the tag arrays so anything
+// that fits some level is resident, as it would be in a long run.
+func (m *machine) sweep() error {
+	for _, region := range m.gen.Regions() {
+		for off := uint64(0); off < region.Bytes; off += 32 {
+			if off&(64<<10-1) == 0 && m.stop.Load() {
+				return m.abortErr()
+			}
+			m.sys.WarmTouch(region.Base + off)
+		}
+	}
+	return nil
+}
+
+// fastForward drains insts instructions from the generator functionally
+// — warming the hierarchy with every memory reference and, when train
+// is set, the predictor with every branch outcome — without running the
+// pipeline. Chunked so the generator's batch loop stays call-free.
+func (m *machine) fastForward(insts uint64, train bool) error {
+	pred := m.core.Predictor()
+	var addrs, branches [4096]uint64
+	for left := insts; left > 0; {
+		if m.stop.Load() {
+			return m.abortErr()
+		}
+		chunk := len(addrs)
+		if uint64(chunk) > left {
+			chunk = int(left)
+		}
+		left -= uint64(chunk)
+		na, nb := m.gen.Warm(chunk, addrs[:], branches[:])
+		for _, a := range addrs[:na] {
+			m.sys.WarmTouch(a)
+		}
+		if train {
+			for _, b := range branches[:nb] {
+				pred.Warm(b>>1, b&1 == 1)
+			}
+		}
+	}
+	return nil
+}
+
+// captureBaselines records the hierarchy counters at the start of the
+// measured window, so the Result reports window deltas.
+func (m *machine) captureBaselines() {
+	m.preLoads = m.sys.L1.Loads()
+	m.preLoadMiss = m.sys.L1.LoadMisses()
+	m.preStoreMiss = m.sys.L1.StoreMisses()
+	m.preLB = 0
+	if lb := m.sys.L1.LineBuffer(); lb != nil {
+		m.preLB = lb.Hits()
+	}
+}
+
+// result assembles the measured window's Result from the cumulative
+// stats since ResetStats and the baselines.
+func (m *machine) result(s cpu.Stats) Result {
+	res := Result{
+		Benchmark:       m.cfg.Benchmark,
+		Cycles:          s.Cycles,
+		Instructions:    s.Retired,
+		IPC:             s.IPC(),
+		BranchAccuracy:  m.core.Predictor().Accuracy(),
+		MeanLoadLatency: s.MeanLoadLatency(),
+		CPUStats:        s,
+	}
+	if s.Retired > 0 {
+		misses := (m.sys.L1.LoadMisses() - m.preLoadMiss) + (m.sys.L1.StoreMisses() - m.preStoreMiss)
+		res.MissesPerInst = float64(misses) / float64(s.Retired)
+	}
+	if lb := m.sys.L1.LineBuffer(); lb != nil {
+		loads := m.sys.L1.Loads() - m.preLoads
+		if loads > 0 {
+			res.LineBufferHitRate = float64(lb.Hits()-m.preLB) / float64(loads)
+		}
+	}
+	if m.stream != nil {
+		res.StreamHash = m.stream.Hash()
+	}
+	return res
+}
+
+// run executes the exhaustive (non-sampled) simulation: from cold when
+// resumed is false, from the already-restored phase cursor otherwise.
+func (m *machine) run(resumed bool) (Result, error) {
+	if !resumed {
+		// Pre-warm to steady state, standing in for the paper's
+		// >100M-instruction runs: first the region sweep, then the
+		// generator's own prefix replays to restore hot-set recency,
+		// and the same, already-advanced generator feeds the core — the
+		// measured window must not re-walk stream prefixes the timing
+		// model never fetched.
+		if err := m.sweep(); err != nil {
+			return Result{}, err
+		}
+		if m.cfg.PrewarmMode == PrewarmTiming {
+			m.phase, m.remaining = phasePrewarm, m.cfg.PrewarmInsts
+			if err := m.runTimed(); err != nil {
+				return Result{}, err
+			}
+		} else {
+			if err := m.fastForward(m.cfg.PrewarmInsts, m.cfg.PrewarmMode != PrewarmStream); err != nil {
+				return Result{}, err
+			}
+		}
+		m.phase, m.remaining = phaseWarmup, m.cfg.WarmupInsts
+		if m.opts.SnapshotPrewarm != "" {
+			// Remaining 0 marks the prewarm boundary: a resumer runs its
+			// own full warmup, so any config sharing the prewarm
+			// projection can pick this snapshot up.
+			if err := m.saveSnapshot(m.opts.SnapshotPrewarm, phaseWarmup, 0); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	if m.phase == phasePrewarm {
+		if err := m.runTimed(); err != nil {
+			return Result{}, err
+		}
+		m.phase, m.remaining = phaseWarmup, m.cfg.WarmupInsts
+	}
+	if m.phase == phaseWarmup {
+		if m.remaining == 0 {
+			m.remaining = m.cfg.WarmupInsts
+		}
+		if err := m.runTimed(); err != nil {
+			return Result{}, err
+		}
+		m.captureBaselines()
+		m.core.ResetStats()
+		m.phase, m.remaining = phaseMeasure, m.cfg.MeasureInsts
+	}
+	if m.remaining == 0 {
+		m.remaining = m.cfg.MeasureInsts
+	}
+	if err := m.runTimed(); err != nil {
+		return Result{}, err
+	}
+	return m.result(m.core.Stats()), nil
 }
 
 // RunContext executes one simulation under ctx. Cancellation is
@@ -242,29 +602,35 @@ func RunContext(ctx context.Context, cfg Config, opts RunOpts) (Result, error) {
 		}
 		return Result{}, err
 	}
-	gen, err := workload.New(cfg.Benchmark, cfg.Seed)
-	if err != nil {
-		return Result{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
-	}
-	sys, err := mem.NewSystem(cfg.Memory)
-	if err != nil {
-		return Result{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
-	}
 	cfg = cfg.WithDefaults()
-	prewarm, warmup, measure := cfg.PrewarmInsts, cfg.WarmupInsts, cfg.MeasureInsts
+	if err := cfg.Sample.validate(cfg.MeasureInsts); err != nil {
+		return Result{}, err
+	}
+	if cfg.Sample != nil && opts.Resume != "" {
+		return Result{}, fmt.Errorf("%w: sampled runs cannot resume from a snapshot", ErrInvalidConfig)
+	}
 
-	// The core is built before the prewarm window is consumed; its
-	// constructor draws nothing from the generator, and timed prewarm
-	// needs it running.
-	core, err := cpu.New(cfg.CPU, gen, sys.L1)
+	stop := new(atomic.Bool)
+	m, err := newMachine(ctx, cfg, opts, stop)
 	if err != nil {
-		return Result{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		return Result{}, err
+	}
+
+	resumed := false
+	if opts.Resume != "" {
+		st, err := ReadSnapshot(opts.Resume, opts.Faults)
+		if err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+		if err := m.restore(st); err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+		resumed = true
 	}
 
 	// One watcher goroutine folds ctx cancellation and the wall budget
 	// into a single atomic flag the hot loops can poll for free. It is
 	// reaped before RunContext returns, so runs never leak goroutines.
-	stop := new(atomic.Bool)
 	watcherDone := make(chan struct{})
 	go func() {
 		defer close(watcherDone)
@@ -275,127 +641,12 @@ func RunContext(ctx context.Context, cfg Config, opts RunOpts) (Result, error) {
 		cancel()
 		<-watcherDone
 	}()
-	core.SetBudget(stop, opts.MaxCycles)
+	m.core.SetBudget(stop, m.effMax)
 
-	// The invariant checker shares the stop flag, so a violation halts
-	// the core within one budget-poll interval just like a cancellation.
-	var inv *check.Invariants
-	if opts.Check {
-		inv = check.NewInvariants(core, sys, stop)
-		core.SetChecker(inv)
+	if cfg.Sample != nil {
+		return m.runSampled()
 	}
-
-	// abortErr names what stopped the run, in classification order: an
-	// invariant violation (the run's results are meaningless), then the
-	// hard cycle cap, then the caller's context, then the wall budget.
-	abortErr := func() error {
-		if inv != nil && inv.Err() != nil {
-			return fmt.Errorf("%w: %v", ErrCheckFailed, inv.Err())
-		}
-		if opts.MaxCycles > 0 && uint64(core.Now()) >= opts.MaxCycles {
-			return fmt.Errorf("%w: cycle budget of %d exhausted", ErrBudget, opts.MaxCycles)
-		}
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("%w: %v", ErrAborted, err)
-		}
-		return fmt.Errorf("%w: wall budget of %v exhausted", ErrBudget, opts.Timeout)
-	}
-
-	// Pre-warm to steady state, standing in for the paper's
-	// >100M-instruction runs. First every region is swept through the
-	// tag arrays so anything that fits some level is resident (in a
-	// long run a streamed array settles into whatever second-level
-	// capacity it fits); then the generator's own prefix replays to
-	// restore hot-set recency, and the same, already-advanced generator
-	// feeds the core — the measured window must not re-walk stream
-	// prefixes the timing model never fetched.
-	for _, region := range gen.Regions() {
-		for off := uint64(0); off < region.Bytes; off += 32 {
-			if off&(64<<10-1) == 0 && stop.Load() {
-				return Result{}, abortErr()
-			}
-			sys.WarmTouch(region.Base + off)
-		}
-	}
-	if cfg.PrewarmMode == PrewarmTiming {
-		core.Run(prewarm)
-		if core.Stopped() {
-			return Result{}, abortErr()
-		}
-		if err := checkErr(inv); err != nil {
-			return Result{}, err
-		}
-	} else {
-		// Functional drain, in chunks so the generator's batch loop and
-		// the concrete WarmTouch/predictor calls both stay call-free.
-		train := cfg.PrewarmMode != PrewarmStream
-		pred := core.Predictor()
-		var addrs, branches [4096]uint64
-		for left := prewarm; left > 0; {
-			if stop.Load() {
-				return Result{}, abortErr()
-			}
-			chunk := len(addrs)
-			if uint64(chunk) > left {
-				chunk = int(left)
-			}
-			left -= uint64(chunk)
-			na, nb := gen.Warm(chunk, addrs[:], branches[:])
-			for _, a := range addrs[:na] {
-				sys.WarmTouch(a)
-			}
-			if train {
-				for _, b := range branches[:nb] {
-					pred.Warm(b>>1, b&1 == 1)
-				}
-			}
-		}
-	}
-
-	core.Run(warmup)
-	if core.Stopped() {
-		return Result{}, abortErr()
-	}
-	if err := checkErr(inv); err != nil {
-		return Result{}, err
-	}
-	preLoads := sys.L1.Loads()
-	preLoadMiss := sys.L1.LoadMisses()
-	preStoreMiss := sys.L1.StoreMisses()
-	preLB := uint64(0)
-	if lb := sys.L1.LineBuffer(); lb != nil {
-		preLB = lb.Hits()
-	}
-	core.ResetStats()
-
-	s := core.Run(measure)
-	if core.Stopped() {
-		return Result{}, abortErr()
-	}
-	if err := checkErr(inv); err != nil {
-		return Result{}, err
-	}
-
-	res := Result{
-		Benchmark:       cfg.Benchmark,
-		Cycles:          s.Cycles,
-		Instructions:    s.Retired,
-		IPC:             s.IPC(),
-		BranchAccuracy:  core.Predictor().Accuracy(),
-		MeanLoadLatency: s.MeanLoadLatency(),
-		CPUStats:        s,
-	}
-	if s.Retired > 0 {
-		misses := (sys.L1.LoadMisses() - preLoadMiss) + (sys.L1.StoreMisses() - preStoreMiss)
-		res.MissesPerInst = float64(misses) / float64(s.Retired)
-	}
-	if lb := sys.L1.LineBuffer(); lb != nil {
-		loads := sys.L1.Loads() - preLoads
-		if loads > 0 {
-			res.LineBufferHitRate = float64(lb.Hits()-preLB) / float64(loads)
-		}
-	}
-	return res, nil
+	return m.run(resumed)
 }
 
 // ScaledSRAMSystem builds the SRAM memory system for a processor with
