@@ -22,9 +22,11 @@ test:
 
 # The runner, simulator, HTTP service, and server binary are the
 # concurrency-sensitive packages; run them under the race detector in
-# addition to the plain suite.
+# addition to the plain suite. The explicit -timeout covers the sim
+# package, whose full suite under the race detector outgrew go test's
+# default 10 minutes on small (1-2 core) machines.
 race:
-	$(GO) test -race ./internal/fault ./internal/runner ./internal/sim ./internal/service ./internal/cluster ./cmd/hbserved
+	$(GO) test -race -timeout 30m ./internal/fault ./internal/runner ./internal/sim ./internal/service ./internal/cluster ./cmd/hbserved
 
 # Fault-injection suite under the race detector: every fault kind fired
 # into the runner and service, asserting bounded recovery (workers
@@ -78,10 +80,15 @@ fuzz:
 # (use BENCH_COUNT=10 with benchstat for before/after comparisons). The
 # raw output lands in bench.out and a machine-readable summary —
 # ns/op, allocs/op, insts/sec, plus any custom metrics — is written to
-# BENCH_<short-sha>.json for tracking across commits.
+# BENCH_<short-sha>.json for tracking across commits. When an earlier
+# BENCH_*.json is committed, benchjson prints a one-line
+# configs/s/core comparison against the newest one (report only; CI's
+# bench-batch job applies the soft 10% gate).
 BENCH ?= .
 BENCH_COUNT ?= 1
 bench:
 	$(GO) test -run '^$$' -bench='$(BENCH)' -benchmem -count=$(BENCH_COUNT) | tee bench.out
-	$(GO) run ./cmd/benchjson -commit $$(git rev-parse --short HEAD) < bench.out > BENCH_$$(git rev-parse --short HEAD).json
-	@echo "wrote BENCH_$$(git rev-parse --short HEAD).json"
+	@sha=$$(git rev-parse --short HEAD); \
+	base=$$(git ls-files 'BENCH_*.json' | xargs -r ls -t 2>/dev/null | head -1); \
+	$(GO) run ./cmd/benchjson -commit $$sha $${base:+-baseline $$base} < bench.out > BENCH_$$sha.json; \
+	echo "wrote BENCH_$$sha.json"

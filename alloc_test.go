@@ -10,8 +10,11 @@ package hbcache_test
 import (
 	"testing"
 
+	"context"
+
 	"hbcache/internal/cpu"
 	"hbcache/internal/mem"
+	"hbcache/internal/sim"
 	"hbcache/internal/workload"
 )
 
@@ -125,4 +128,46 @@ func TestCPUStepCheckerDisabledAllocFree(t *testing.T) {
 	core.SetChecker(nil) // explicit: checking disabled
 	core.RunCycles(20_000)
 	pinZeroAllocs(t, "CPU.Step (checker disabled)", func() { core.Step() })
+}
+
+// TestBatchStepAllocFree pins the batch kernel's steady-state round:
+// once every lane is past prewarm, a lockstep Step — ring refills,
+// chunked core runs, retirement bookkeeping across all lanes — must
+// not allocate at all. The warmup windows are oversized so no lane
+// settles during the pin (settling allocates the Result, which is
+// construction/teardown cost, not hot-loop cost).
+func TestBatchStepAllocFree(t *testing.T) {
+	mk := func(ports mem.PortConfig) sim.Config {
+		return sim.Config{
+			Benchmark:    "gcc",
+			Seed:         1,
+			CPU:          cpu.DefaultConfig(),
+			Memory:       mem.DefaultSRAMSystem(32<<10, 1, ports, false),
+			PrewarmInsts: 10_000,
+			WarmupInsts:  1 << 40, // never finishes during the pin
+			MeasureInsts: 10_000,
+		}
+	}
+	cfgs := []sim.Config{
+		mk(mem.PortConfig{Kind: mem.IdealPorts, Count: 2}),
+		mk(mem.PortConfig{Kind: mem.BankedPorts, Count: 8}),
+	}
+	b, err := sim.NewBatch(context.Background(), cfgs, sim.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// First Step performs the shared prewarm; a few more reach
+	// steady-state pipeline occupancy.
+	for i := 0; i < 4; i++ {
+		if !b.Step() {
+			t.Fatal("batch settled during warmup; lanes misconfigured")
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { b.Step() }); n != 0 {
+		t.Errorf("Batch.Step: %.1f allocs/round, want 0", n)
+	}
+	if b.Active() != len(cfgs) {
+		t.Fatalf("Active() = %d, want %d", b.Active(), len(cfgs))
+	}
 }

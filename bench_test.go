@@ -11,7 +11,10 @@ package hbcache_test
 // bottom track simulator throughput.
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -19,6 +22,7 @@ import (
 	"hbcache/internal/experiments"
 	"hbcache/internal/isa"
 	"hbcache/internal/mem"
+	"hbcache/internal/runner"
 	"hbcache/internal/sim"
 	"hbcache/internal/stats"
 	"hbcache/internal/workload"
@@ -33,8 +37,27 @@ func benchOpts() experiments.Options {
 		PrewarmInsts: 600_000,
 		WarmupInsts:  20_000,
 		MeasureInsts: 120_000,
+		Runner:       benchBatchRunner,
 	}
 }
+
+// benchBatchRunner routes the figure benchmarks through the lockstep
+// batch kernel when HBCACHE_BENCH_BATCH=N (N > 1): every experiment's
+// wave of design points is then stepped N configs per worker over
+// shared streams and prewarm state. Unset (the default) leaves the
+// figures on the classic one-config-per-worker path; Options.Runner
+// is nil and experiments falls back to its process-wide default.
+var benchBatchRunner = func() *runner.Runner {
+	n, err := strconv.Atoi(os.Getenv("HBCACHE_BENCH_BATCH"))
+	if err != nil || n <= 1 {
+		return nil
+	}
+	r, rerr := runner.New(runner.Options{BatchSize: n})
+	if rerr != nil {
+		panic(rerr)
+	}
+	return r
+}()
 
 var printOnce sync.Map
 
@@ -188,6 +211,76 @@ func BenchmarkFullSimulation(b *testing.B) {
 	}
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(instsPerOp)*float64(b.N)/s, "insts/sec")
+	}
+}
+
+// batchSweepConfigs is the BenchmarkBatchSweep design space: four L1
+// sizes crossed with four of the paper's headline organizations (ideal
+// dual-ported, eight-way banked, duplicate arrays + line buffer, and
+// banked + line buffer), all on gcc at the figure windows. Sixteen
+// points — a figure-sized sweep slice — so the measured throughput is
+// what the real harness sees, stream sharing and warm-state grouping
+// included.
+func batchSweepConfigs() []sim.Config {
+	o := benchOpts()
+	type org struct {
+		ports mem.PortConfig
+		lb    bool
+	}
+	orgs := []org{
+		{mem.PortConfig{Kind: mem.IdealPorts, Count: 2}, false},
+		{mem.PortConfig{Kind: mem.BankedPorts, Count: 8}, false},
+		{mem.PortConfig{Kind: mem.DuplicatePorts}, true},
+		{mem.PortConfig{Kind: mem.BankedPorts, Count: 8}, true},
+	}
+	var cfgs []sim.Config
+	for _, size := range []int{16 << 10, 32 << 10, 64 << 10, 128 << 10} {
+		for _, g := range orgs {
+			cfgs = append(cfgs, sim.Config{
+				Benchmark:    "gcc",
+				Seed:         o.Seed,
+				CPU:          cpu.DefaultConfig(),
+				Memory:       mem.DefaultSRAMSystem(size, 1, g.ports, g.lb),
+				PrewarmInsts: o.PrewarmInsts,
+				WarmupInsts:  o.WarmupInsts,
+				MeasureInsts: o.MeasureInsts,
+			})
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkBatchSweep measures sweep throughput per core at batch
+// sizes 1/4/8/16: the same sixteen-point sweep through a single-worker
+// runner, with b=1 the classic one-config-at-a-time path and b>1 the
+// lockstep batch kernel. The custom metric is configs/s/core; the b=N
+// over b=1 ratio is the batch kernel's headline speedup (benchjson
+// surfaces it as batch_speedup).
+func BenchmarkBatchSweep(b *testing.B) {
+	cfgs := batchSweepConfigs()
+	for _, bs := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("b=%d", bs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh runner every iteration: the memo would otherwise
+				// serve iterations 2..N from cache and time nothing.
+				r, err := runner.New(runner.Options{Workers: 1, BatchSize: bs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jrs, err := r.Run(context.Background(), cfgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, jr := range jrs {
+					if jr.Err != nil {
+						b.Fatal(jr.Err)
+					}
+				}
+			}
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(len(cfgs)*b.N)/s, "configs/s/core")
+			}
+		})
 	}
 }
 

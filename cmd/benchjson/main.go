@@ -40,10 +40,19 @@ type report struct {
 	// surfaced at the top level so trackers don't need to know which
 	// benchmark reports it. Omitted when no sampled benchmark ran.
 	SampledSpeedup float64 `json:"sampled_speedup,omitempty"`
+	// ConfigsPerSecCore is the best mean configs/s/core across the
+	// BenchmarkBatchSweep batch sizes — the batch kernel's headline
+	// sweep throughput on one core. BatchSpeedup is its ratio over the
+	// b=1 (lockstep off) sub-benchmark. Both omitted when the batch
+	// sweep didn't run.
+	ConfigsPerSecCore float64 `json:"configs_per_sec_core,omitempty"`
+	BatchSpeedup      float64 `json:"batch_speedup,omitempty"`
 }
 
 func main() {
 	commit := flag.String("commit", "", "commit hash to stamp into the report")
+	baseline := flag.String("baseline", "", "earlier BENCH_*.json to compare configs_per_sec_core against (one line on stderr)")
+	maxRegress := flag.Float64("max-regress", 0, "with -baseline: exit nonzero if configs_per_sec_core regressed more than this percent (0 = report only)")
 	flag.Parse()
 
 	rep := report{
@@ -67,12 +76,88 @@ func main() {
 		fatal(fmt.Errorf("no benchmark result lines found on stdin"))
 	}
 	rep.SampledSpeedup = sampledSpeedup(rep.Benchmarks)
+	rep.ConfigsPerSecCore, rep.BatchSpeedup = batchMetrics(rep.Benchmarks)
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
+	if *baseline != "" {
+		if err := compareBaseline(rep, *baseline, *maxRegress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// batchMetrics derives the batch kernel's headline numbers from the
+// BenchmarkBatchSweep sub-benchmarks: the best per-batch-size mean of
+// the configs/s/core metric, and its ratio over the b=1 mean. Repeated
+// -count=N runs of one batch size average before the comparison, so
+// the speedup is means-over-means, not a lucky single pairing.
+func batchMetrics(samples []sample) (cps, speedup float64) {
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	for _, s := range samples {
+		rest, ok := strings.CutPrefix(s.Name, "BenchmarkBatchSweep/b=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		v, ok := s.Metrics["configs/s/core"]
+		if !ok {
+			continue
+		}
+		sums[n] += v
+		counts[n]++
+	}
+	for n, c := range counts {
+		if mean := sums[n] / float64(c); mean > cps {
+			cps = mean
+		}
+	}
+	if c := counts[1]; c > 0 && cps > 0 {
+		if base := sums[1] / float64(c); base > 0 {
+			speedup = cps / base
+		}
+	}
+	return cps, speedup
+}
+
+// compareBaseline prints a one-line configs_per_sec_core comparison
+// against an earlier report on stderr. With maxRegress > 0 it returns
+// an error — failing the run — when throughput dropped more than that
+// percentage; a missing metric on either side only reports (old
+// reports predate the batch sweep, and partial -bench patterns may
+// skip it).
+func compareBaseline(rep report, path string, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	from := base.Commit
+	if from == "" {
+		from = path
+	}
+	switch {
+	case rep.ConfigsPerSecCore == 0 || base.ConfigsPerSecCore == 0:
+		fmt.Fprintf(os.Stderr, "benchjson: configs/s/core baseline comparison vs %s skipped (metric missing on one side)\n", from)
+	default:
+		delta := 100 * (rep.ConfigsPerSecCore - base.ConfigsPerSecCore) / base.ConfigsPerSecCore
+		fmt.Fprintf(os.Stderr, "benchjson: configs/s/core %.2f vs %.2f at %s (%+.1f%%, batch speedup %.2fx)\n",
+			rep.ConfigsPerSecCore, base.ConfigsPerSecCore, from, delta, rep.BatchSpeedup)
+		if maxRegress > 0 && delta < -maxRegress {
+			return fmt.Errorf("configs_per_sec_core regressed %.1f%% (limit %.1f%%) vs %s", -delta, maxRegress, from)
+		}
+	}
+	return nil
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	s, ok := parseLine("BenchmarkFullSimulation-8  \t  42\t  27012345 ns/op  9624453 insts/sec  12345 B/op  378 allocs/op")
@@ -48,6 +54,90 @@ func TestSampledSpeedup(t *testing.T) {
 	}
 	if got := sampledSpeedup(samples[:1]); got != 0 {
 		t.Errorf("sampledSpeedup without the metric = %v, want 0", got)
+	}
+}
+
+func TestBatchMetrics(t *testing.T) {
+	bs := func(n string, cps float64) sample {
+		return sample{Name: "BenchmarkBatchSweep/b=" + n, Metrics: map[string]float64{"ns/op": 1, "configs/s/core": cps}}
+	}
+	samples := []sample{
+		{Name: "BenchmarkFullSimulation", Metrics: map[string]float64{"ns/op": 1}},
+		// -count=2 style repeats: means are 10 (b=1), 19 (b=4), 21 (b=8).
+		bs("1", 9), bs("1", 11),
+		bs("4", 18), bs("4", 20),
+		bs("8", 20), bs("8", 22),
+	}
+	cps, speedup := batchMetrics(samples)
+	if cps != 21 {
+		t.Errorf("configs_per_sec_core = %v, want 21 (best batch-size mean)", cps)
+	}
+	if speedup != 2.1 {
+		t.Errorf("batch_speedup = %v, want 2.1", speedup)
+	}
+
+	// Without a b=1 sample there is no speedup denominator.
+	cps, speedup = batchMetrics(samples[3:])
+	if cps != 21 || speedup != 0 {
+		t.Errorf("without b=1: cps=%v speedup=%v, want 21, 0", cps, speedup)
+	}
+	// No batch sweep at all: both omitted.
+	if cps, speedup = batchMetrics(samples[:1]); cps != 0 || speedup != 0 {
+		t.Errorf("without batch sweep: cps=%v speedup=%v, want 0, 0", cps, speedup)
+	}
+}
+
+// writeBaseline marshals a report into a temp file for compareBaseline.
+func writeBaseline(t *testing.T, rep report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := report{Commit: "abc1234", ConfigsPerSecCore: 20, BatchSpeedup: 2.0}
+	path := writeBaseline(t, base)
+
+	// Within threshold: 5% down against a 10% limit passes.
+	ok := report{ConfigsPerSecCore: 19, BatchSpeedup: 2.1}
+	if err := compareBaseline(ok, path, 10); err != nil {
+		t.Errorf("5%% regression under a 10%% limit: %v", err)
+	}
+	// Beyond threshold: 25% down fails with the limit in the message.
+	bad := report{ConfigsPerSecCore: 15, BatchSpeedup: 1.5}
+	err := compareBaseline(bad, path, 10)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("25%% regression under a 10%% limit: err=%v, want regression failure", err)
+	}
+	// Report-only mode (limit 0) never fails.
+	if err := compareBaseline(bad, path, 0); err != nil {
+		t.Errorf("report-only comparison: %v", err)
+	}
+	// Metric missing on either side: skip, never fail.
+	if err := compareBaseline(report{}, path, 10); err != nil {
+		t.Errorf("missing metric in new report: %v", err)
+	}
+	empty := writeBaseline(t, report{Commit: "old0000"})
+	if err := compareBaseline(bad, empty, 10); err != nil {
+		t.Errorf("missing metric in baseline: %v", err)
+	}
+	// Unreadable or corrupt baselines are hard errors.
+	if err := compareBaseline(ok, filepath.Join(t.TempDir(), "nope.json"), 0); err == nil {
+		t.Error("missing baseline file: want error")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBaseline(ok, garbage, 0); err == nil {
+		t.Error("corrupt baseline file: want error")
 	}
 }
 

@@ -108,6 +108,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cacheDir   = fs.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
 		snapDir    = fs.String("snapshot-dir", "", "checkpoint directory: jobs share prewarm snapshots and budget-truncated jobs park resumable checkpoints (POST /v1/jobs/{id}/resume)")
 		workers    = fs.Int("j", 0, "concurrent simulations (0 = all CPUs)")
+		batch      = fs.Int("batch", 1, "lockstep simulations per worker: drain up to N queued jobs and step them as one batch, sharing stream generation and prewarm (1 = off; ignored with -snapshot-dir and in coordinator role)")
 		queueSize  = fs.Int("queue", 64, "bounded job queue size; a full queue answers 429")
 		jobTimeout = fs.Duration("job-timeout", 0, "per-job wall-time cap (0 = none)")
 		retryAfter = fs.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
@@ -233,6 +234,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	r, err := runner.New(runner.Options{
 		Workers:      conc,
+		BatchSize:    *batch,
 		CacheDir:     diskDir,
 		SnapshotDir:  *snapDir,
 		Store:        store,

@@ -56,6 +56,7 @@ type sweepSpec struct {
 	sample      *sim.SampleSpec
 
 	workers     int
+	batchSize   int
 	cacheDir    string
 	snapshotDir string
 	progress    bool
@@ -78,6 +79,7 @@ func main() {
 		insts    = flag.Uint64("insts", sim.DefaultMeasure, "measured instructions per point")
 		pwMode   = flag.String("prewarm-mode", "", "prewarm mode: fast-forward (default), stream, timing")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		batch    = flag.Int("batch", 1, "lockstep simulations per worker: each worker steps up to N points as one batch, sharing stream generation and prewarm (1 = off; ignored with -snapshot-dir)")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty = caching off)")
 		snapDir  = flag.String("snapshot-dir", "", "checkpoint directory: sweep neighbors share prewarm snapshots and budget-truncated points park resumable checkpoints here")
 		sample   = flag.String("sample", "", "interval sampling plan \"interval,window,warmup\" in instructions, applied to every point")
@@ -123,6 +125,7 @@ func main() {
 		insts:       *insts,
 		prewarmMode: sim.PrewarmMode(*pwMode),
 		workers:     *workers,
+		batchSize:   *batch,
 		cacheDir:    *cacheDir,
 		snapshotDir: *snapDir,
 		progress:    *progress,
@@ -200,6 +203,7 @@ func (s sweepSpec) configs() []sim.Config {
 func runSweep(ctx context.Context, out, errw io.Writer, spec sweepSpec) (runner.Metrics, error) {
 	opts := runner.Options{
 		Workers:      spec.workers,
+		BatchSize:    spec.batchSize,
 		CacheDir:     spec.cacheDir,
 		SnapshotDir:  spec.snapshotDir,
 		SimTimeout:   spec.timeout,

@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"hbcache/internal/isa"
+)
+
+// coreArena is the backing storage a batch of cores is carved from.
+// Each field pool is sized for the whole batch up front, so every
+// core's bookkeeping slices of one type land back to back (structure
+// of arrays across lanes) instead of scattered across the heap.
+type coreArena struct {
+	rob []entry
+	u64 []uint64
+	u8  []uint8
+	i32 []int32
+}
+
+func (a *coreArena) takeRob(n int) []entry {
+	s := a.rob[:n:n]
+	a.rob = a.rob[n:]
+	return s
+}
+
+func (a *coreArena) takeU64(n int) []uint64 {
+	s := a.u64[:n:n]
+	a.u64 = a.u64[n:]
+	return s
+}
+
+func (a *coreArena) takeU8(n int) []uint8 {
+	s := a.u8[:n:n]
+	a.u8 = a.u8[n:]
+	return s
+}
+
+func (a *coreArena) takeI32(n int) []int32 {
+	s := a.i32[:n:n]
+	a.i32 = a.i32[n:]
+	return s
+}
+
+// NewBatch builds one core per config with the reorder-buffer, LSQ,
+// wakeup-mask, timing-wheel, and store-ring state of the whole batch
+// packed into contiguous per-type backing arrays. Each core behaves
+// exactly as one from New — only the allocation layout changes, so a
+// goroutine stepping the batch in lockstep keeps its mutable state
+// dense. Construction failures are reported per index; the
+// corresponding core is nil.
+func NewBatch(cfgs []Config, readers []isa.Reader, dmems []DataMemory) ([]*CPU, []error) {
+	cores := make([]*CPU, len(cfgs))
+	errs := make([]error, len(cfgs))
+	arena := &coreArena{}
+	var nRob, nU64, nU8, nI32 int
+	for i, cfg := range cfgs {
+		if err := cfg.validate(); err != nil {
+			errs[i] = err
+			continue
+		}
+		words := (cfg.WindowSize + 63) / 64
+		nRob += cfg.WindowSize
+		nU64 += (2+cfg.WindowSize)*words + cfg.LSQSize
+		nU8 += 2 * cfg.WindowSize
+		nI32 += 2*cfg.WindowSize + wheelSpan
+	}
+	arena.rob = make([]entry, nRob)
+	arena.u64 = make([]uint64, nU64)
+	arena.u8 = make([]uint8, nU8)
+	arena.i32 = make([]int32, nI32)
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			continue
+		}
+		core, err := newCore(cfg, readers[i], dmems[i], arena)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		cores[i] = core
+	}
+	return cores, errs
+}

@@ -67,6 +67,17 @@ type Options struct {
 	// magnitude slower; a violation fails the job with
 	// sim.ErrCheckFailed, which is fatal (deterministic), not retried.
 	SimCheck bool
+	// BatchSize, when greater than one, makes each worker execute up to
+	// BatchSize cache-missing jobs as one lockstep sim.RunBatch instead
+	// of one simulation at a time, sharing stream generation and the
+	// functional prewarm between compatible lanes. Results stay
+	// bit-identical to the per-run path and are still content-keyed,
+	// memoized, cached, and returned in submission order; a retryable
+	// lane failure falls back to per-run retries. Ignored when Sim
+	// replaces the simulator or SnapshotDir is set — snapshot prewarm
+	// sharing and lockstep batching are mutually exclusive, and the
+	// snapshot path wins so resumable sweeps keep their checkpoints.
+	BatchSize int
 	// SnapshotDir, when non-empty, enables checkpoint/restore for the
 	// default simulator: sweep neighbors sharing a prewarm projection
 	// reuse one prewarm snapshot instead of each re-warming from cold,
@@ -156,6 +167,11 @@ type Runner struct {
 	onProgress func(Metrics)
 	store      Store
 
+	// batch is the lockstep lanes per worker (1 = per-run path) and
+	// runOpts the options handed to sim.RunBatch on the batched path.
+	batch   int
+	runOpts sim.RunOpts
+
 	// sim runs one simulation; tests substitute instrumented stubs.
 	sim func(ctx context.Context, cfg sim.Config) (sim.Result, error)
 
@@ -188,14 +204,14 @@ func New(opts Options) (*Runner, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	runOpts := sim.RunOpts{
+		MaxCycles: opts.SimMaxCycles,
+		Timeout:   opts.SimTimeout,
+		Faults:    opts.Faults,
+		Check:     opts.SimCheck,
+	}
 	simFn := opts.Sim
 	if simFn == nil {
-		runOpts := sim.RunOpts{
-			MaxCycles: opts.SimMaxCycles,
-			Timeout:   opts.SimTimeout,
-			Faults:    opts.Faults,
-			Check:     opts.SimCheck,
-		}
 		if opts.SnapshotDir != "" {
 			simFn = snapshotSim(opts.SnapshotDir, runOpts)
 		} else {
@@ -203,6 +219,10 @@ func New(opts Options) (*Runner, error) {
 				return sim.RunContext(ctx, cfg, runOpts)
 			}
 		}
+	}
+	batch := opts.BatchSize
+	if batch < 1 || opts.Sim != nil || opts.SnapshotDir != "" {
+		batch = 1
 	}
 	backoff := opts.RetryBackoff
 	switch {
@@ -216,6 +236,8 @@ func New(opts Options) (*Runner, error) {
 		retries:    opts.Retries,
 		backoff:    backoff,
 		onProgress: opts.OnProgress,
+		batch:      batch,
+		runOpts:    runOpts,
 		sim:        simFn,
 		start:      time.Now(),
 		memo:       map[string]*memoEntry{},
@@ -242,6 +264,10 @@ func (r *Runner) Store() Store { return r.store }
 
 // Workers reports the configured pool width.
 func (r *Runner) Workers() int { return r.workers }
+
+// BatchSize reports the effective lockstep lanes per worker (1 when
+// batching is off or unavailable for this runner's configuration).
+func (r *Runner) BatchSize() int { return r.batch }
 
 // AddListener subscribes fn to the same per-completion metrics
 // snapshots as Options.OnProgress and returns a function that removes
@@ -284,6 +310,9 @@ func (r *Runner) snapshotLocked() Metrics {
 // JobResult.Err; the returned error is non-nil only when ctx was
 // cancelled, in which case undispatched jobs carry ctx's error.
 func (r *Runner) Run(ctx context.Context, cfgs []sim.Config) ([]JobResult, error) {
+	if r.batch > 1 {
+		return r.runBatched(ctx, cfgs)
+	}
 	results := make([]JobResult, len(cfgs))
 	r.mu.Lock()
 	r.metrics.Submitted += len(cfgs)

@@ -40,8 +40,18 @@ type Options struct {
 	// simulation concurrency. Zero selects the runner's worker count.
 	Concurrency int
 	// JobTimeout caps one job's wall time, cancelling its context past
-	// the deadline. Zero means no per-job timeout.
+	// the deadline. Zero means no per-job timeout. On the batched drain
+	// path (BatchSize > 1) the timeout spans the whole drained batch:
+	// lockstep lanes share one clock.
 	JobTimeout time.Duration
+	// BatchSize, when greater than one, lets each worker drain up to
+	// BatchSize queued jobs in one gulp and execute them as a single
+	// runner batch call, so a batch-capable runner
+	// (runner.Options.BatchSize) steps them in lockstep instead of one
+	// at a time. One forces the classic one-job-at-a-time loop; zero
+	// adopts the runner's own batch size, so wiring -batch through the
+	// runner is enough.
+	BatchSize int
 	// RetryAfter is the backoff hint returned with 429 responses.
 	// Zero selects one second.
 	RetryAfter time.Duration
@@ -82,6 +92,12 @@ func (o Options) withDefaults(r *runner.Runner) Options {
 	}
 	if o.Concurrency <= 0 {
 		o.Concurrency = r.Workers()
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = r.BatchSize()
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 1
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
@@ -346,8 +362,32 @@ func New(r *runner.Runner, opts Options) *Service {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if opts.BatchSize <= 1 {
+				for j := range s.queue {
+					s.runJob(j)
+				}
+				return
+			}
+			// Batched drain: take one job (blocking), then greedily
+			// drain up to BatchSize-1 more without waiting, and run the
+			// gulp as one batch. An idle service still starts a lone
+			// job immediately — batching never delays work to wait for
+			// companions.
 			for j := range s.queue {
-				s.runJob(j)
+				batch := []*job{j}
+			drain:
+				for len(batch) < opts.BatchSize {
+					select {
+					case next, ok := <-s.queue:
+						if !ok {
+							break drain
+						}
+						batch = append(batch, next)
+					default:
+						break drain
+					}
+				}
+				s.runJobs(batch)
 			}
 		}()
 	}
@@ -648,7 +688,46 @@ func (s *Service) runJob(j *job) {
 		defer cancel()
 	}
 	jr := s.run.RunJob(ctx, j.cfg)
+	s.settleJob(j, jr)
+}
 
+// runJobs executes a drained gulp of queued jobs as one runner batch
+// call (the BatchSize > 1 worker loop). Each job still settles — state,
+// breaker, latency, sweep progress — individually.
+func (s *Service) runJobs(jobs []*job) {
+	if len(jobs) == 1 {
+		s.runJob(jobs[0])
+		return
+	}
+	s.mu.Lock()
+	for _, j := range jobs {
+		j.state = StateRunning
+		s.running++
+		s.appendJobEventLocked(j, Event{Type: "state", State: StateRunning})
+	}
+	s.mu.Unlock()
+
+	ctx := s.baseCtx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	cfgs := make([]sim.Config, len(jobs))
+	for i, j := range jobs {
+		cfgs[i] = j.cfg
+	}
+	// Per-job errors live in the JobResults; the bulk error duplicates
+	// what each lane already carries after cancellation.
+	jrs, _ := s.run.Run(ctx, cfgs)
+	for i, j := range jobs {
+		s.settleJob(j, jrs[i])
+	}
+}
+
+// settleJob folds one finished job's result into the service: job
+// state, breaker, latency histogram, and sweep progress.
+func (s *Service) settleJob(j *job, jr runner.JobResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--

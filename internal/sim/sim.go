@@ -334,6 +334,15 @@ func newMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
+	return assembleMachine(ctx, cfg, opts, stop, gen, sys, core), nil
+}
+
+// assembleMachine wires an already-constructed generator, hierarchy,
+// and core into a machine with the configured checkers installed. The
+// batch kernel uses it directly: its lanes read a shared stream ring
+// instead of owning the generator, so construction and assembly are
+// separate steps.
+func assembleMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool, gen *workload.Generator, sys *mem.System, core *cpu.CPU) *machine {
 	m := &machine{cfg: cfg, opts: opts, ctx: ctx, gen: gen, sys: sys, core: core, stop: stop, effMax: opts.MaxCycles}
 	var checkers []cpu.Checker
 	if opts.Hash {
@@ -350,7 +359,7 @@ func newMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool
 	if len(checkers) > 0 {
 		core.SetChecker(check.Multi(checkers...))
 	}
-	return m, nil
+	return m
 }
 
 // abortErr names what stopped the run, in classification order: an
@@ -398,36 +407,53 @@ func (m *machine) abort() error {
 // remaining instructions in runChunk pieces, polling for aborts, the
 // checker, and the mid-run snapshot trigger at every boundary.
 func (m *machine) runTimed() error {
-	for m.remaining > 0 && !m.core.Done() {
-		chunk := uint64(runChunk)
-		if chunk > m.remaining {
-			chunk = m.remaining
-		}
-		before := m.core.Stats().Retired
-		m.core.Run(chunk)
-		retired := m.core.Stats().Retired - before
-		if retired >= m.remaining {
-			m.remaining = 0
-		} else {
-			m.remaining -= retired
-		}
-		if m.core.Stopped() {
-			return m.abort()
-		}
-		if err := m.checkErr(); err != nil {
+	for {
+		done, err := m.runTimedChunk()
+		if err != nil {
 			return err
 		}
-		// Phase-final boundaries (remaining == 0) are excluded: a
-		// remaining-0 warmup snapshot is reserved for the prewarm
-		// boundary, whose resume semantics differ (see restore).
-		if m.remaining > 0 && m.wantSnapshotAt() {
-			if err := m.saveSnapshot(m.opts.SnapshotPath, m.phase, m.remaining); err != nil {
-				return err
-			}
-			m.snapSaved = true
+		if done {
+			return nil
 		}
 	}
-	return nil
+}
+
+// runTimedChunk advances the current phase by at most one runChunk,
+// reporting whether the phase is finished. It is the resumable unit
+// the batch kernel interleaves across lanes; runTimed is a loop over
+// it, so chunked and straight-through execution are bit-identical.
+func (m *machine) runTimedChunk() (bool, error) {
+	if m.remaining == 0 || m.core.Done() {
+		return true, nil
+	}
+	chunk := uint64(runChunk)
+	if chunk > m.remaining {
+		chunk = m.remaining
+	}
+	before := m.core.Stats().Retired
+	m.core.Run(chunk)
+	retired := m.core.Stats().Retired - before
+	if retired >= m.remaining {
+		m.remaining = 0
+	} else {
+		m.remaining -= retired
+	}
+	if m.core.Stopped() {
+		return false, m.abort()
+	}
+	if err := m.checkErr(); err != nil {
+		return false, err
+	}
+	// Phase-final boundaries (remaining == 0) are excluded: a
+	// remaining-0 warmup snapshot is reserved for the prewarm
+	// boundary, whose resume semantics differ (see restore).
+	if m.remaining > 0 && m.wantSnapshotAt() {
+		if err := m.saveSnapshot(m.opts.SnapshotPath, m.phase, m.remaining); err != nil {
+			return false, err
+		}
+		m.snapSaved = true
+	}
+	return m.remaining == 0 || m.core.Done(), nil
 }
 
 func (m *machine) wantSnapshotAt() bool {

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"testing"
+
+	"hbcache/internal/isa"
+)
+
+// TestFillMatchesNext pins Fill's contract: filling a span advances
+// the generator exactly as the same number of Next calls, producing
+// the identical records — the property the batch kernel's shared
+// stream ring depends on.
+func TestFillMatchesNext(t *testing.T) {
+	for _, bench := range BenchmarkNames() {
+		a := MustNew(bench, 3)
+		b := MustNew(bench, 3)
+		buf := make([]isa.Inst, 777)
+		for round := 0; round < 4; round++ {
+			a.Fill(buf)
+			for i, got := range buf {
+				want, _ := b.Next()
+				if got != want {
+					t.Fatalf("%s round %d inst %d: Fill %+v != Next %+v", bench, round, i, got, want)
+				}
+			}
+		}
+		if a.Emitted() != b.Emitted() {
+			t.Fatalf("%s: Emitted diverged: %d vs %d", bench, a.Emitted(), b.Emitted())
+		}
+	}
+}

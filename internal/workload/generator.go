@@ -501,6 +501,17 @@ func (g *Generator) Warm(n int, addrs, branches []uint64) (na, nb int) {
 	return na, nb
 }
 
+// Fill assembles len(dst) instructions into dst, advancing the
+// generator exactly as len(dst) calls of Next would. It exists for the
+// batch kernel's shared-stream ring buffer, which generates the stream
+// once per (benchmark, seed) and lets every lane of a batch read the
+// same records; TestFillMatchesNext pins the equivalence.
+func (g *Generator) Fill(dst []isa.Inst) {
+	for i := range dst {
+		dst[i], _ = g.Next()
+	}
+}
+
 // Emitted returns the number of instructions generated so far.
 func (g *Generator) Emitted() uint64 { return g.n }
 
