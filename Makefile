@@ -29,18 +29,22 @@ race:
 	$(GO) test -race -timeout 30m ./internal/fault ./internal/runner ./internal/sim ./internal/service ./internal/cluster ./cmd/hbserved
 
 # Fault-injection suite under the race detector: every fault kind fired
-# into the runner and service, asserting bounded recovery (workers
-# freed, breaker cycles, partial results well-formed, caches
-# quarantined). -count=1 defeats the test cache so the chaos runs are
-# always live.
+# into the runner, service, and cluster fabric (journal write/read
+# corruption, dropped heartbeats), asserting bounded recovery (workers
+# freed, breaker cycles, partial results well-formed, caches and journal
+# lines quarantined). -count=1 defeats the test cache so the chaos runs
+# are always live.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|CrashSafety' ./internal/runner ./internal/service
+	$(GO) test -race -count=1 -run 'Chaos|CrashSafety' ./internal/runner ./internal/service ./internal/cluster
 
-# Distributed-sweep smoke test: builds the server binary, spawns a
-# coordinator and two worker processes, runs a real sweep through the
-# fabric (checking byte-identical results and cluster-wide
-# exactly-once), then SIGKILLs a worker mid-sweep and checks the sweep
-# still completes. -count=1 keeps the processes honest on every run.
+# Distributed-sweep smoke test: builds the server binary, spawns real
+# coordinator and worker processes, and drives every crash drill —
+# byte-identical sweeps with cluster-wide exactly-once, a worker
+# SIGKILLed mid-sweep, the coordinator SIGKILLed mid-sweep and restarted
+# against the same -journal-dir/-cache-dir (same sweep ID completes,
+# zero re-simulations, corrupt journal lines quarantined), and a
+# late-joining worker registering into a workerless coordinator then
+# draining out on SIGTERM. -count=1 keeps the processes honest.
 cluster:
 	$(GO) test -count=1 -v -run 'TestClusterE2E' ./cmd/hbserved
 

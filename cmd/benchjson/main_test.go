@@ -120,24 +120,34 @@ func TestCompareBaseline(t *testing.T) {
 	if err := compareBaseline(bad, path, 0); err != nil {
 		t.Errorf("report-only comparison: %v", err)
 	}
-	// Metric missing on either side: skip, never fail.
+	// Metric missing on either side: skip with a notice, never fail —
+	// even with the regression gate armed. A pre-PR-8 baseline has no
+	// configs_per_sec_core at all; CI must not fail on history.
 	if err := compareBaseline(report{}, path, 10); err != nil {
 		t.Errorf("missing metric in new report: %v", err)
 	}
-	empty := writeBaseline(t, report{Commit: "old0000"})
-	if err := compareBaseline(bad, empty, 10); err != nil {
-		t.Errorf("missing metric in baseline: %v", err)
+	legacy := writeBaseline(t, report{Commit: "old0000", SampledSpeedup: 11})
+	if err := compareBaseline(bad, legacy, 10); err != nil {
+		t.Errorf("baseline predating the metric: %v", err)
 	}
-	// Unreadable or corrupt baselines are hard errors.
-	if err := compareBaseline(ok, filepath.Join(t.TempDir(), "nope.json"), 0); err == nil {
-		t.Error("missing baseline file: want error")
+	// Unreadable or corrupt baselines: hard errors only when gating;
+	// report-only mode degrades to a notice.
+	missing := filepath.Join(t.TempDir(), "nope.json")
+	if err := compareBaseline(ok, missing, 10); err == nil {
+		t.Error("missing baseline file under a gate: want error")
+	}
+	if err := compareBaseline(ok, missing, 0); err != nil {
+		t.Errorf("missing baseline file in report-only mode: %v", err)
 	}
 	garbage := filepath.Join(t.TempDir(), "garbage.json")
 	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := compareBaseline(ok, garbage, 0); err == nil {
-		t.Error("corrupt baseline file: want error")
+	if err := compareBaseline(ok, garbage, 10); err == nil {
+		t.Error("corrupt baseline file under a gate: want error")
+	}
+	if err := compareBaseline(ok, garbage, 0); err != nil {
+		t.Errorf("corrupt baseline file in report-only mode: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -474,5 +475,215 @@ func TestClusterE2EWorkerKill(t *testing.T) {
 	}
 	if !reflect.DeepEqual(len(rd.Cluster.Workers), 2) {
 		t.Errorf("fleet size = %d, want 2", len(rd.Cluster.Workers))
+	}
+}
+
+// getReadyz fetches /readyz, returning the status code and decoded body.
+func getReadyz(t *testing.T, base string) (int, struct {
+	Ready   bool                   `json:"ready"`
+	Reason  string                 `json:"reason"`
+	Cluster *service.ClusterStatus `json:"cluster"`
+}) {
+	t.Helper()
+	var rd struct {
+		Ready   bool                   `json:"ready"`
+		Reason  string                 `json:"reason"`
+		Cluster *service.ClusterStatus `json:"cluster"`
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rd)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, rd
+}
+
+// TestClusterE2ECoordinatorCrashRecovery is the tentpole acceptance
+// test: SIGKILL the coordinator mid-sweep, vandalize its journal for
+// good measure, restart it against the same -journal-dir and
+// -cache-dir, and the original sweep — same ID — completes with results
+// byte-identical to a single-process run, the corrupt line quarantined,
+// and zero duplicate simulations anywhere in the fleet.
+func TestClusterE2ECoordinatorCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; skipped in -short")
+	}
+	bin := binary(t)
+	cacheDir := t.TempDir()
+	journalDir := t.TempDir()
+
+	coordAddr := freePort(t)
+	coordURL := "http://" + coordAddr
+	w1 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2", "-store", "remote", "-store-url", coordURL)
+	coordArgs := []string{
+		"-addr", coordAddr,
+		"-role", "coordinator",
+		"-workers", w1.base,
+		"-store", "disk",
+		"-cache-dir", cacheDir,
+		"-journal-dir", journalDir,
+		"-hedge-after", "-1s",
+	}
+	coord := startProc(t, bin, coordArgs...)
+	single := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2")
+
+	// Slow enough that the kill lands with the sweep genuinely in
+	// flight: some points in the store, some mid-simulation, some queued.
+	cfgs := make([]sim.Config, 10)
+	for i := range cfgs {
+		cfgs[i] = e2eConfig(i+300, 200000)
+	}
+	id := submitSweep(t, coord.base, cfgs)
+	singleID := submitSweep(t, single.base, cfgs)
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if done := scrapeCounter(t, coord.base, "hbserved_runner_done_total"); done >= 2 && done < float64(len(cfgs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never caught the sweep mid-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	coord.kill(t)
+
+	// Bit-rot while the coordinator is down: a garbage line in the
+	// journal. Replay must quarantine it and recover everything else.
+	jf, err := os.OpenFile(filepath.Join(journalDir, "sweeps.journal"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.WriteString("garbage written while the coordinator was dead\n"); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+
+	coord = startProc(t, bin, coordArgs...)
+
+	// The journaled sweep is back under its original ID and completes.
+	res := awaitSweep(t, coord.base, id, 3*time.Minute)
+	if res.Failed != 0 {
+		for _, p := range res.Points {
+			if p.Error != "" {
+				t.Logf("point error: %s", p.Error)
+			}
+		}
+		t.Fatalf("recovered sweep failed %d/%d points", res.Failed, res.Total)
+	}
+
+	// Byte-identical to the single-process run: recovery must not
+	// perturb a single result, only re-route the unfinished work.
+	singleRes := awaitSweep(t, single.base, singleID, 3*time.Minute)
+	for i := range cfgs {
+		cb, _ := json.Marshal(res.Points[i].Result)
+		sb, _ := json.Marshal(singleRes.Points[i].Result)
+		if !bytes.Equal(cb, sb) {
+			t.Errorf("point %d differs after recovery:\nrecovered: %s\nsingle:    %s", i, cb, sb)
+		}
+	}
+
+	// Zero duplicate simulations: every point the worker finished before
+	// (or during) the crash is re-served from the disk store or the
+	// worker's own dedup — the fleet's simulator ran once per config.
+	if sims := scrapeCounter(t, w1.base, "hbserved_runner_simulated_total"); sims != float64(len(cfgs)) {
+		t.Errorf("worker simulated %v times across the crash, want exactly %d", sims, len(cfgs))
+	}
+
+	// The restart replayed the journal and quarantined the garbage.
+	if replays := scrapeCounter(t, coord.base, "hbserved_cluster_journal_replays_total"); replays < 1 {
+		t.Errorf("journal replays = %v, want at least 1", replays)
+	}
+	if _, err := os.Stat(filepath.Join(journalDir, "sweeps.journal.corrupt")); err != nil {
+		t.Errorf("corrupt journal line not quarantined: %v", err)
+	}
+	if !strings.Contains(coord.stderr.String(), "corrupt line(s) quarantined") {
+		t.Errorf("restart did not report the quarantine; stderr: %s", coord.stderr.String())
+	}
+}
+
+// TestClusterE2ELateJoinAndDrain covers dynamic membership end to end:
+// a coordinator born with no workers accepts a sweep anyway, a worker
+// that self-registers picks the shards up without a coordinator
+// restart, and a SIGTERM on the worker drains gracefully — deregister
+// first, so the coordinator's readiness drops below quorum the moment
+// the worker leaves, and the worker exits cleanly.
+func TestClusterE2ELateJoinAndDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; skipped in -short")
+	}
+	bin := binary(t)
+
+	coordAddr := freePort(t)
+	coordURL := "http://" + coordAddr
+	coord := startProc(t, bin,
+		"-addr", coordAddr,
+		"-role", "coordinator",
+		"-lease-ttl", "2s",
+		"-hedge-after", "-1s",
+	)
+
+	// Workerless: alive but not ready.
+	if code, rd := getReadyz(t, coord.base); code != http.StatusServiceUnavailable || rd.Ready {
+		t.Fatalf("workerless coordinator readyz = %d %+v, want 503 below quorum", code, rd)
+	}
+
+	// The sweep is accepted before any worker exists; its points wait
+	// out the join grace.
+	cfgs := make([]sim.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = e2eConfig(i+400, 20000)
+	}
+	id := submitSweep(t, coord.base, cfgs)
+
+	w1 := startProc(t, bin,
+		"-addr", "127.0.0.1:0", "-j", "2",
+		"-store", "remote", "-store-url", coordURL,
+		"-register", coordURL,
+	)
+
+	res := awaitSweep(t, coord.base, id, 2*time.Minute)
+	if res.Failed != 0 {
+		t.Fatalf("late-join sweep failed %d/%d points", res.Failed, res.Total)
+	}
+	code, rd := getReadyz(t, coord.base)
+	if code != http.StatusOK || rd.Cluster == nil || rd.Cluster.Registered != 1 {
+		t.Fatalf("readyz after join = %d %+v, want ready with 1 registered worker", code, rd.Cluster)
+	}
+	lease := false
+	for _, w := range rd.Cluster.Workers {
+		if w.URL == w1.base && w.Registered && w.LeaseAgeMs >= 0 {
+			lease = true
+		}
+	}
+	if !lease {
+		t.Errorf("registered worker's lease not visible on readyz: %+v", rd.Cluster.Workers)
+	}
+
+	// Graceful drain: SIGTERM deregisters before the worker exits, and
+	// the coordinator notices immediately — no lease timeout involved.
+	if err := w1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := w1.cmd.Wait(); err != nil {
+		t.Fatalf("worker did not exit cleanly on SIGTERM: %v (stderr: %s)", err, w1.stderr.String())
+	}
+	if !strings.Contains(w1.stderr.String(), "deregistered from") {
+		t.Errorf("worker drain did not deregister; stderr: %s", w1.stderr.String())
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, rd := getReadyz(t, coord.base)
+		if code == http.StatusServiceUnavailable && !rd.Ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator still ready after its only worker drained: %d %+v", code, rd)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }

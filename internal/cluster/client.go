@@ -61,6 +61,11 @@ func NewClient(base string, hc *http.Client) *Client {
 // URL reports the worker's base URL.
 func (c *Client) URL() string { return c.base }
 
+// normalizeURL matches the Client's base normalization, so membership
+// lookups by URL agree with the fleet map regardless of trailing
+// slashes.
+func normalizeURL(u string) string { return strings.TrimRight(u, "/") }
+
 // errJobFailed marks a job that reached the worker and failed there —
 // a deterministic simulation error, not a transport fault. The
 // coordinator must not re-dispatch it to another worker: the identical
@@ -195,6 +200,31 @@ func (c *Client) SweepResults(ctx context.Context, id string) (service.SweepResu
 // Healthz probes the worker's liveness endpoint.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// RegisterWorker announces a worker at url to the coordinator this
+// client points at, returning the lease TTL the coordinator grants —
+// the worker must heartbeat well within it to stay in the fleet.
+func (c *Client) RegisterWorker(ctx context.Context, url string) (ttl time.Duration, err error) {
+	var resp struct {
+		LeaseTTLMs int64 `json:"lease_ttl_ms"`
+	}
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/cluster/register", map[string]any{"url": url}, &resp); err != nil {
+		return 0, err
+	}
+	return time.Duration(resp.LeaseTTLMs) * time.Millisecond, nil
+}
+
+// HeartbeatWorker renews the worker's lease. A 404 means the
+// coordinator no longer knows the worker (restart, expiry) and the
+// caller should re-register.
+func (c *Client) HeartbeatWorker(ctx context.Context, url string) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/cluster/heartbeat", map[string]any{"url": url}, nil)
+}
+
+// DeregisterWorker removes the worker from dispatch ahead of a drain.
+func (c *Client) DeregisterWorker(ctx context.Context, url string) error {
+	return c.doJSON(ctx, http.MethodPost, "/v1/cluster/deregister", map[string]any{"url": url}, nil)
 }
 
 // AwaitJob follows the job's SSE event stream until it reaches a

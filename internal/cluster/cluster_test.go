@@ -441,7 +441,7 @@ func TestHedgingStealsFromStraggler(t *testing.T) {
 	defer cancel()
 
 	start := time.Now()
-	res, err := coord.runPoint(ctx, testConfig(7), 0) // planned onto the straggler
+	res, err := coord.runPoint(ctx, testConfig(7), coord.workers[0]) // planned onto the straggler
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbcache/internal/fault"
+	"hbcache/internal/runner"
+	"hbcache/internal/sim"
+)
+
+// appendAll writes records through a fresh journal in dir.
+func appendAll(t *testing.T, dir string, faults *fault.Registry, recs ...Record) {
+	t.Helper()
+	j, err := OpenJournal(dir, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustKey(t *testing.T, cfg sim.Config) string {
+	t.Helper()
+	k, err := runner.Key(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestJournalRoundTrip: a journaled sweep replays with its ID, configs,
+// and completion state intact — successful results mark keys done,
+// failed results do not (a crash-interrupted attempt and a real failure
+// are indistinguishable, so both re-dispatch).
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := []sim.Config{testConfig(1), testConfig(2), testConfig(3)}
+	k1, k2, k3 := mustKey(t, cfgs[0]), mustKey(t, cfgs[1]), mustKey(t, cfgs[2])
+	appendAll(t, dir, nil,
+		Record{Type: RecordSweep, SweepID: "sweep-000001", Configs: cfgs},
+		Record{Type: RecordDispatch, Key: k1, Worker: "http://w1"},
+		Record{Type: RecordResult, Key: k1},
+		Record{Type: RecordResult, Key: k2, Failed: true, Error: "boom"},
+		Record{Type: RecordSweep, SweepID: "sweep-000002", Configs: cfgs[:1]},
+	)
+
+	st, err := Replay(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 5 || st.Corrupt != 0 {
+		t.Fatalf("replay counted %d records, %d corrupt; want 5, 0", st.Records, st.Corrupt)
+	}
+	if len(st.Sweeps) != 2 || st.Sweeps[0].ID != "sweep-000001" || st.Sweeps[1].ID != "sweep-000002" {
+		t.Fatalf("replayed sweeps = %+v, want both in admission order", st.Sweeps)
+	}
+	if got := st.Sweeps[0].Keys; len(got) != 3 || got[0] != k1 || got[1] != k2 || got[2] != k3 {
+		t.Errorf("sweep keys = %v, want the members' canonical keys", got)
+	}
+	if !st.Done[k1] || st.Done[k2] || st.Done[k3] {
+		t.Errorf("done = %v, want only the successful result's key", st.Done)
+	}
+
+	// Sweep 1 has unfinished keys (k2 failed, k3 never finished); sweep 2
+	// is fully covered by k1's success.
+	inc := st.Incomplete()
+	if len(inc) != 1 || inc[0].ID != "sweep-000001" {
+		t.Errorf("incomplete = %+v, want exactly sweep-000001", inc)
+	}
+}
+
+// TestJournalMissingIsEmpty: first boot and recovery share a code path —
+// a directory with no journal replays to an empty state, not an error.
+func TestJournalMissingIsEmpty(t *testing.T) {
+	st, err := Replay(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sweeps) != 0 || st.Records != 0 || st.Corrupt != 0 {
+		t.Errorf("empty dir replayed to %+v, want empty state", st)
+	}
+	if len(st.Incomplete()) != 0 {
+		t.Error("empty state reports incomplete sweeps")
+	}
+}
+
+// TestJournalCorruptQuarantine: garbage and torn lines are copied to
+// <journal>.corrupt and skipped; every intact record around them still
+// replays. One bad record never takes down recovery of its neighbors.
+func TestJournalCorruptQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	cfgs := []sim.Config{testConfig(1)}
+	appendAll(t, dir, nil, Record{Type: RecordSweep, SweepID: "sweep-000001", Configs: cfgs})
+
+	// Interleave hand-written damage: a non-JSON line, then a good
+	// record, then a torn (truncated) final line like a crash mid-append.
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("this is not a journal record\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	appendAll(t, dir, nil, Record{Type: RecordResult, Key: mustKey(t, cfgs[0])})
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := whole[len(whole)-40:] // tail of the last record, checksum broken
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(torn)
+	f.Close()
+
+	st, err := Replay(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 || st.Corrupt != 2 {
+		t.Fatalf("replay = %d good, %d corrupt; want 2 good, 2 corrupt", st.Records, st.Corrupt)
+	}
+	if len(st.Sweeps) != 1 || !st.Sweeps[0].Complete(st.Done) {
+		t.Errorf("sweep state after corruption = %+v done=%v, want the sweep complete", st.Sweeps, st.Done)
+	}
+	q, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if len(q) == 0 {
+		t.Error("quarantine file is empty")
+	}
+}
+
+// TestJournalNilNoop: a nil *Journal accepts appends and closes without
+// effect, so callers never branch on whether journaling is configured.
+func TestJournalNilNoop(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Record{Type: RecordResult, Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Path() != "" {
+		t.Error("nil journal has a path")
+	}
+}
+
+// TestJournalAppendAfterClose: Close releases the handle but Append
+// reopens it — the journal stays usable at any point in a drain.
+func TestJournalAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: RecordSweep, SweepID: "sweep-000001", Configs: []sim.Config{testConfig(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: RecordResult, Key: mustKey(t, testConfig(1))}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	st, err := Replay(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 {
+		t.Errorf("replayed %d records, want both sides of the Close", st.Records)
+	}
+}
+
+// TestChaosJournalWrite: an error rule at cluster.journal.write fails
+// the append; a corrupt rule mangles the bytes after checksumming, and
+// replay quarantines exactly that line while keeping its neighbors.
+func TestChaosJournalWrite(t *testing.T) {
+	reg := fault.New(1)
+	rule, err := fault.ParseRule("cluster.journal.write:error:limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Add(rule)
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(Record{Type: RecordResult, Key: "k"}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append under an error rule = %v, want ErrInjected", err)
+	}
+	if err := j.Append(Record{Type: RecordResult, Key: mustKey(t, testConfig(1))}); err != nil {
+		t.Fatalf("append after the rule's limit: %v", err)
+	}
+
+	corrupt := fault.New(1)
+	rule, err = fault.ParseRule("cluster.journal.write:corrupt:limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt.Add(rule)
+	j2, err := OpenJournal(dir, corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Append(Record{Type: RecordResult, Key: mustKey(t, testConfig(2))}); err != nil {
+		t.Fatal(err) // the write succeeds; the bytes are silently wrong
+	}
+	if err := j2.Append(Record{Type: RecordResult, Key: mustKey(t, testConfig(3))}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Replay(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 || st.Corrupt != 1 {
+		t.Errorf("replay after chaos = %d good, %d corrupt; want 2 good, 1 corrupt", st.Records, st.Corrupt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalFile+".corrupt")); err != nil {
+		t.Errorf("mangled line not quarantined: %v", err)
+	}
+}
+
+// TestChaosJournalRead: a fault at cluster.journal.read surfaces as a
+// replay error — the coordinator refuses to start half-recovered rather
+// than silently dropping sweeps.
+func TestChaosJournalRead(t *testing.T) {
+	reg := fault.New(1)
+	rule, err := fault.ParseRule("cluster.journal.read:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Add(rule)
+	if _, err := Replay(t.TempDir(), reg); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("replay under a read fault = %v, want ErrInjected", err)
+	}
+}

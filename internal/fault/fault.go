@@ -77,6 +77,16 @@ const (
 	// KindCorrupt rule at the same site mangles the serialized snapshot
 	// after checksumming, producing a genuinely corrupt file on disk.
 	SiteSnapshotWrite = "snapshot.write"
+	// SiteClusterJournalWrite fires before each sweep-journal append; a
+	// KindCorrupt rule at the same site mangles the record after
+	// checksumming, landing a genuinely corrupt line in the journal.
+	SiteClusterJournalWrite = "cluster.journal.write"
+	// SiteClusterJournalRead fires once per sweep-journal replay.
+	SiteClusterJournalRead = "cluster.journal.read"
+	// SiteClusterHeartbeat fires as the coordinator processes a worker
+	// heartbeat; an injected error drops the heartbeat, so a limit rule
+	// rehearses lease expiry without killing the worker.
+	SiteClusterHeartbeat = "cluster.heartbeat"
 )
 
 // ErrInjected is returned from sites where a KindError rule activates.

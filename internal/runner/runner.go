@@ -98,6 +98,12 @@ type Options struct {
 	// budget and faults. The function must honor ctx: the runner relies
 	// on cancellation actually stopping work.
 	Sim func(ctx context.Context, cfg sim.Config) (sim.Result, error)
+	// OnTerminal, when non-nil, is called once per owned job as it
+	// reaches a terminal state — cache hit, simulation success, or final
+	// failure — with the job's canonical key, config, and error. Memo
+	// duplicates riding an owner do not re-fire it. The coordinator's
+	// sweep journal hooks its result records in here.
+	OnTerminal func(key string, cfg sim.Config, err error)
 }
 
 // Retryable reports whether re-running a failed job could help.
@@ -165,6 +171,7 @@ type Runner struct {
 	retries    int
 	backoff    time.Duration
 	onProgress func(Metrics)
+	onTerminal func(key string, cfg sim.Config, err error)
 	store      Store
 
 	// batch is the lockstep lanes per worker (1 = per-run path) and
@@ -236,6 +243,7 @@ func New(opts Options) (*Runner, error) {
 		retries:    opts.Retries,
 		backoff:    backoff,
 		onProgress: opts.OnProgress,
+		onTerminal: opts.OnTerminal,
 		batch:      batch,
 		runOpts:    runOpts,
 		sim:        simFn,
@@ -381,8 +389,17 @@ func (r *Runner) RunJob(ctx context.Context, cfg sim.Config) JobResult {
 func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
 	jr := JobResult{Config: cfg}
 	started := time.Now()
+	var (
+		key   string
+		owner bool
+	)
 	settle := func() JobResult {
 		jr.Wall = time.Since(started)
+		if owner && r.onTerminal != nil {
+			// Owned jobs only: duplicates riding the memo would journal
+			// the same key again with no new information.
+			r.onTerminal(key, cfg, jr.Err)
+		}
 		r.finish(&jr)
 		return jr
 	}
@@ -392,11 +409,12 @@ func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
 		return settle()
 	}
 
-	key, err := Key(cfg)
+	k, err := Key(cfg)
 	if err != nil {
 		jr.Err = fmt.Errorf("runner: keying %s config: %w", cfg.Benchmark, err)
 		return settle()
 	}
+	key = k
 
 	r.mu.Lock()
 	entry, inFlight := r.memo[key]
@@ -419,6 +437,7 @@ func (r *Runner) do(ctx context.Context, cfg sim.Config) JobResult {
 
 	// This goroutine owns the entry: fill it from disk or by simulating,
 	// then publish for any duplicates waiting above.
+	owner = true
 	defer close(entry.done)
 
 	if r.store != nil {

@@ -66,6 +66,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.Membership != nil {
+		// Coordinator only: workers join, stay, and leave the fleet here.
+		mux.HandleFunc("POST /v1/cluster/register", s.handleClusterRegister)
+		mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+		mux.HandleFunc("POST /v1/cluster/deregister", s.handleClusterDeregister)
+	}
 	if s.storeSrv != nil {
 		s.storeSrv.Register(mux)
 	}
@@ -305,4 +311,70 @@ func (s *Service) streamSSE(w http.ResponseWriter, r *http.Request, c *cursor) {
 			}
 		}
 	}
+}
+
+// memberRequest is the body of every membership endpoint: the worker's
+// advertised base URL.
+type memberRequest struct {
+	URL string `json:"url"`
+}
+
+func (s *Service) decodeMember(r *http.Request) (string, error) {
+	var req memberRequest
+	if err := decodeBody(r, &req); err != nil {
+		return "", err
+	}
+	if req.URL == "" {
+		return "", fmt.Errorf("%w: membership request needs a worker url", ErrInvalid)
+	}
+	return req.URL, nil
+}
+
+// handleClusterRegister admits a worker into the fleet (or revives an
+// expired/draining one) and grants it a heartbeat lease. The response
+// carries the lease TTL the worker must heartbeat well within.
+func (s *Service) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	url, err := s.decodeMember(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	isNew, ttl := s.opts.Membership.Register(url)
+	status := http.StatusOK
+	if isNew {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, map[string]any{
+		"registered":   true,
+		"new":          isNew,
+		"lease_ttl_ms": ttl.Milliseconds(),
+	})
+}
+
+// handleClusterHeartbeat renews a worker's lease. 404 tells the worker
+// the coordinator no longer knows it (restart, lease already reaped)
+// and it should re-register.
+func (s *Service) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	url, err := s.decodeMember(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !s.opts.Membership.Heartbeat(r.Context(), url) {
+		s.writeError(w, fmt.Errorf("%w: no live lease for worker %q; re-register", ErrNotFound, url))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleClusterDeregister is the graceful-drain handshake: the worker
+// leaves dispatch immediately while it finishes in-flight jobs.
+func (s *Service) handleClusterDeregister(w http.ResponseWriter, r *http.Request) {
+	url, err := s.decodeMember(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.opts.Membership.Deregister(url)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 }

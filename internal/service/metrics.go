@@ -57,9 +57,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.opts.ClusterStatus != nil {
-		// probe=false: /metrics must answer from local state, never the
-		// network.
-		if cs := s.opts.ClusterStatus(r.Context(), false); cs != nil {
+		// The hook answers from local membership state — /metrics never
+		// touches the network.
+		if cs := s.opts.ClusterStatus(r.Context()); cs != nil {
 			s.workerMetrics(&p, cs)
 		}
 	}
@@ -91,6 +91,10 @@ func (s *Service) workerMetrics(p *stats.Prom, cs *ClusterStatus) {
 		}
 	}
 	p.Gauge("hbserved_cluster_workers", "Size of the worker fleet.", float64(cs.Total))
+	p.Gauge("hbserved_cluster_live_workers", "Dispatchable workers (active membership, breaker not open).", float64(cs.Live))
+	p.Gauge("hbserved_cluster_workers_registered", "Live workers holding a heartbeat lease.", float64(cs.Registered))
+	p.Counter("hbserved_cluster_lease_expiries_total", "Worker heartbeat leases the coordinator has reaped.", float64(cs.LeaseExpiries))
+	p.Counter("hbserved_cluster_journal_replays_total", "Sweep-journal replays performed by this coordinator process.", float64(cs.JournalReplays))
 	p.GaugeVec("hbserved_worker_up", "1 while the worker's breaker is routing work to it.", vec(func(w WorkerStatus) float64 {
 		if w.Healthy {
 			return 1
@@ -102,6 +106,12 @@ func (s *Service) workerMetrics(p *stats.Prom, cs *ClusterStatus) {
 	}))
 	p.GaugeVec("hbserved_worker_breaker_state", "Worker breaker position: 0 closed, 1 open, 2 half-open.", vec(func(w WorkerStatus) float64 {
 		return breakerNum(w.Breaker)
+	}))
+	p.GaugeVec("hbserved_worker_lease_age_seconds", "Seconds since the worker's last heartbeat; -1 when it holds no lease.", vec(func(w WorkerStatus) float64 {
+		if w.LeaseAgeMs < 0 {
+			return -1
+		}
+		return float64(w.LeaseAgeMs) / 1000
 	}))
 	p.CounterVec("hbserved_worker_dispatched_total", "Points handed to the worker.", vec(func(w WorkerStatus) float64 {
 		return float64(w.Dispatched)

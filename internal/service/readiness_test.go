@@ -2,11 +2,13 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -85,24 +87,26 @@ func TestReadyzBreakerOpen(t *testing.T) {
 	}
 }
 
-// TestReadyzCluster: a coordinator's readiness reflects its fleet — no
-// reachable workers means not ready, and /metrics grows the per-worker
-// labeled families.
+// TestReadyzCluster: a coordinator's readiness reflects its fleet's
+// lease-based quorum — live workers below -min-workers means not ready,
+// with no network probing — and /metrics grows the per-worker labeled
+// families plus the fleet-level lease/journal counters.
 func TestReadyzCluster(t *testing.T) {
-	reachable := 0
-	probed := false
+	live := 0
 	opts := Options{
-		ClusterStatus: func(ctx context.Context, probe bool) *ClusterStatus {
-			if probe {
-				probed = true
-			}
+		ClusterStatus: func(ctx context.Context) *ClusterStatus {
 			return &ClusterStatus{
 				Workers: []WorkerStatus{
-					{URL: "http://w1", Healthy: true, Dispatched: 5, Completed: 4, Stolen: 1, Breaker: "closed"},
-					{URL: "http://w2", Healthy: false, Failed: 3, Breaker: "open", BreakerOpens: 2},
+					{URL: "http://w1", Healthy: true, State: "active", Registered: true, LeaseAgeMs: 120, Dispatched: 5, Completed: 4, Stolen: 1, Breaker: "closed"},
+					{URL: "http://w2", Healthy: false, State: "expired", Registered: true, LeaseAgeMs: 99000, Failed: 3, Breaker: "open", BreakerOpens: 2},
 				},
-				Reachable: reachable,
-				Total:     2,
+				Live:           live,
+				Registered:     live,
+				Reachable:      live,
+				Total:          2,
+				MinWorkers:     1,
+				LeaseExpiries:  1,
+				JournalReplays: 1,
 			}
 		},
 	}
@@ -114,28 +118,36 @@ func TestReadyzCluster(t *testing.T) {
 		Cluster *ClusterStatus
 	}
 	resp := getJSON(t, ts.URL+"/readyz", &rd)
-	if resp.StatusCode != http.StatusServiceUnavailable || rd.Reason != "no reachable workers" {
-		t.Fatalf("workerless readyz = %d %+v, want 503", resp.StatusCode, rd)
-	}
-	if !probed {
-		t.Error("readiness did not ask for a probing fleet status")
+	if resp.StatusCode != http.StatusServiceUnavailable || rd.Reason != "0 live workers below quorum of 1" {
+		t.Fatalf("workerless readyz = %d %+v, want 503 below quorum", resp.StatusCode, rd)
 	}
 	if rd.Cluster == nil || len(rd.Cluster.Workers) != 2 {
 		t.Fatalf("readyz cluster block = %+v, want both workers", rd.Cluster)
 	}
+	if w := rd.Cluster.Workers[0]; !w.Registered || w.LeaseAgeMs != 120 {
+		t.Errorf("readyz worker lease evidence = %+v, want registered with its lease age", w)
+	}
+	if rd.Cluster.Registered != 0 || rd.Cluster.MinWorkers != 1 {
+		t.Errorf("readyz fleet counts = %+v, want registered count and quorum", rd.Cluster)
+	}
 
-	reachable = 1
+	live = 1
 	rd.Reason = ""
 	if resp := getJSON(t, ts.URL+"/readyz", &rd); resp.StatusCode != http.StatusOK || !rd.Ready {
-		t.Fatalf("readyz with a reachable worker = %d %+v, want 200", resp.StatusCode, rd)
+		t.Fatalf("readyz with a live worker = %d %+v, want 200", resp.StatusCode, rd)
 	}
 
 	body := readAll(t, mustGet(t, ts.URL+"/metrics").Body)
 	for _, want := range []string{
 		`hbserved_cluster_workers 2`,
+		`hbserved_cluster_live_workers 1`,
+		`hbserved_cluster_workers_registered 1`,
+		`hbserved_cluster_lease_expiries_total 1`,
+		`hbserved_cluster_journal_replays_total 1`,
 		`hbserved_worker_up{worker="http://w1"} 1`,
 		`hbserved_worker_up{worker="http://w2"} 0`,
 		`hbserved_worker_breaker_state{worker="http://w2"} 1`,
+		`hbserved_worker_lease_age_seconds{worker="http://w1"} 0.12`,
 		`hbserved_worker_dispatched_total{worker="http://w1"} 5`,
 		`hbserved_worker_stolen_total{worker="http://w1"} 1`,
 		`hbserved_worker_breaker_opens_total{worker="http://w2"} 2`,
@@ -143,6 +155,99 @@ func TestReadyzCluster(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// stubMembership records membership calls for the endpoint tests.
+type stubMembership struct {
+	mu          sync.Mutex
+	registered  map[string]bool
+	heartbeats  int
+	deregisters int
+}
+
+func (m *stubMembership) Register(url string) (bool, time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.registered == nil {
+		m.registered = map[string]bool{}
+	}
+	isNew := !m.registered[url]
+	m.registered[url] = true
+	return isNew, 1500 * time.Millisecond
+}
+
+func (m *stubMembership) Heartbeat(ctx context.Context, url string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.heartbeats++
+	return m.registered[url]
+}
+
+func (m *stubMembership) Deregister(url string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deregisters++
+	delete(m.registered, url)
+}
+
+// TestClusterMembershipEndpoints: the register/heartbeat/deregister
+// surface round-trips through HTTP — 201 for a new worker with its
+// lease TTL, 200 for renewals, 404 for heartbeats from unknown workers,
+// and absence of the endpoints entirely on non-coordinators.
+func TestClusterMembershipEndpoints(t *testing.T) {
+	m := &stubMembership{}
+	_, ts := newTestServer(t, stubSim, Options{Membership: m})
+
+	post := func(path, url string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(fmt.Sprintf(`{"url":%q}`, url)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := post("/v1/cluster/register", "http://w1:9")
+	var reg struct {
+		New        bool  `json:"new"`
+		LeaseTTLMs int64 `json:"lease_ttl_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated || !reg.New || reg.LeaseTTLMs != 1500 {
+		t.Fatalf("first register = %d %+v, want 201 new with the lease TTL", resp.StatusCode, reg)
+	}
+	if resp := post("/v1/cluster/register", "http://w1:9"); resp.StatusCode != http.StatusOK {
+		t.Errorf("re-register = %d, want 200 (not new)", resp.StatusCode)
+	}
+	if resp := post("/v1/cluster/heartbeat", "http://w1:9"); resp.StatusCode != http.StatusOK {
+		t.Errorf("heartbeat = %d, want 200", resp.StatusCode)
+	}
+	if resp := post("/v1/cluster/heartbeat", "http://stranger:9"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown heartbeat = %d, want 404 (re-register cue)", resp.StatusCode)
+	}
+	if resp := post("/v1/cluster/deregister", "http://w1:9"); resp.StatusCode != http.StatusOK {
+		t.Errorf("deregister = %d, want 200", resp.StatusCode)
+	}
+	if resp := post("/v1/cluster/heartbeat", "http://w1:9"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("heartbeat after deregister = %d, want 404", resp.StatusCode)
+	}
+	if m.deregisters != 1 {
+		t.Errorf("deregisters = %d, want 1", m.deregisters)
+	}
+
+	// A worker (no Membership hook) has no membership surface at all.
+	_, plain := newTestServer(t, stubSim, Options{})
+	resp, err := http.Post(plain.URL+"/v1/cluster/register", "application/json", strings.NewReader(`{"url":"http://w:1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("register on a non-coordinator = %d, want 404", resp.StatusCode)
 	}
 }
 

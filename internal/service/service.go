@@ -77,13 +77,23 @@ type Options struct {
 	Faults *fault.Registry
 	// ClusterStatus, when non-nil, makes this service a coordinator
 	// front-end: readiness and /metrics report the worker fleet it
-	// returns. probe=true may touch the network (bounded health
-	// probes); probe=false must answer from local state only (the
-	// /metrics path). The hook keeps the dependency arrow pointing
+	// returns, and /readyz degrades on its lease-based quorum (Live vs
+	// MinWorkers) instead of pinging anyone — the hook must answer from
+	// local state only. It keeps the dependency arrow pointing
 	// cluster→service: the cluster package imports this one, so the
 	// binary injects fleet state here instead of the service importing
 	// the cluster.
-	ClusterStatus func(ctx context.Context, probe bool) *ClusterStatus
+	ClusterStatus func(ctx context.Context) *ClusterStatus
+	// Membership, when non-nil, enables the worker self-registration
+	// endpoints (POST /v1/cluster/{register,heartbeat,deregister}),
+	// forwarding them to the coordinator behind the same dependency
+	// inversion as ClusterStatus.
+	Membership ClusterMembership
+	// OnSweepAdmitted, when non-nil, is called after a sweep batch is
+	// accepted, with its ID and member configs — before the submitter
+	// can observe the sweep. The coordinator's write-ahead journal hooks
+	// in here; restored sweeps (RestoreSweep) do not re-fire it.
+	OnSweepAdmitted func(id string, cfgs []sim.Config)
 }
 
 func (o Options) withDefaults(r *runner.Runner) Options {
@@ -535,6 +545,31 @@ func (s *Service) admitLocked(cfg sim.Config, key string) (*job, error) {
 // existing jobs (or onto each other within the batch) share one job and
 // need no queue slot.
 func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
+	view, err := s.submitSweep("", cfgs)
+	if err == nil && s.opts.OnSweepAdmitted != nil {
+		// Outside the lock: the hook may do I/O (journal append).
+		s.opts.OnSweepAdmitted(view.ID, cfgs)
+	}
+	return view, err
+}
+
+// RestoreSweep re-admits a journaled sweep under its original ID — the
+// coordinator's crash-recovery entry point. Members whose results
+// already sit in the runner's store complete without re-dispatching;
+// only unfinished shards re-run. Restoring an ID that already exists is
+// a no-op returning the live sweep, so replaying a journal twice is
+// harmless. The ID sequence advances past restored IDs, keeping new
+// sweep IDs unique.
+func (s *Service) RestoreSweep(id string, cfgs []sim.Config) (SweepView, error) {
+	if id == "" {
+		return SweepView{}, fmt.Errorf("%w: restore needs a sweep id", ErrInvalid)
+	}
+	return s.submitSweep(id, cfgs)
+}
+
+// submitSweep is the shared admission path: id is empty for new sweeps,
+// or a journaled ID being restored.
+func (s *Service) submitSweep(id string, cfgs []sim.Config) (SweepView, error) {
 	if len(cfgs) == 0 {
 		return SweepView{}, fmt.Errorf("%w: sweep needs at least one config", ErrInvalid)
 	}
@@ -553,6 +588,9 @@ func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if existing := s.sweeps[id]; existing != nil {
+		return s.sweepViewLocked(existing), nil
+	}
 	if s.draining {
 		return SweepView{}, ErrDraining
 	}
@@ -578,9 +616,19 @@ func (s *Service) SubmitSweep(cfgs []sim.Config) (SweepView, error) {
 		return SweepView{}, ErrQueueFull
 	}
 
-	s.nextSweep++
+	if id == "" {
+		s.nextSweep++
+		id = fmt.Sprintf("sweep-%06d", s.nextSweep)
+	} else {
+		// Restored ID: advance the sequence past it so the next fresh
+		// sweep cannot collide.
+		var n int
+		if _, err := fmt.Sscanf(id, "sweep-%d", &n); err == nil && n > s.nextSweep {
+			s.nextSweep = n
+		}
+	}
 	sw := &sweep{
-		id:       fmt.Sprintf("sweep-%06d", s.nextSweep),
+		id:       id,
 		watchers: map[int]chan struct{}{},
 	}
 	members := map[string]*job{}
