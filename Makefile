@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build bin test race vet fmt verify bench serve chaos cover fuzz cluster sample
+.PHONY: build bin test race vet fmt verify bench serve chaos cover fuzz cluster sample trace
 
 build:
 	$(GO) build ./...
@@ -63,22 +63,41 @@ serve:
 verify: build vet fmt race test
 	@echo "verify: OK"
 
-# Coverage over the full module; cover.out feeds `go tool cover -html`
-# and the CI artifact.
+# Record→replay conformance: the binary trace format must be lossless
+# (every workload replays instruction-for-instruction, same FNV stream
+# hash) and trace-backed runs must be bit-identical to live-generator
+# runs through every execution path — prewarm modes, batch lanes,
+# sampling, snapshot resume, the runner's cache key, and the service's
+# upload/resolve endpoints. -short trims the 9x3 matrix for CI; the
+# full cross runs under plain `make test`.
+trace:
+	$(GO) test -count=1 -v -short -run 'Trace' ./internal/workload ./internal/check ./internal/sim ./internal/runner ./internal/service
+
+# Coverage over the full module, ratcheted: the build fails if total
+# statement coverage falls below COVER_MIN (current total minus half a
+# point of slack — raise the floor when coverage rises, never lower it
+# to admit a regression). cover.out feeds `go tool cover -html` and the
+# CI artifact.
+COVER_MIN ?= 74.3
 cover:
 	$(GO) test -shuffle=on -coverprofile=cover.out ./...
-	$(GO) tool cover -func=cover.out | tail -1
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{gsub(/%/,""); print $$NF}'); \
+	echo "total statement coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t+0 < m+0) ? 1 : 0 }' \
+		|| { echo "cover: total $$total% fell below the $(COVER_MIN)% floor"; exit 1; }
 
 # Short-budget native fuzzing: the whole simulator under invariant
-# checking, plus the snapshot codec (decode of adversarial checkpoint
-# bytes must reject or round-trip, never panic). Go allows one -fuzz
-# pattern per invocation, so the targets run back to back. FUZZTIME
-# bounds each run (CI uses 30s); found crashers land in the package's
-# testdata/fuzz and re-run as regular tests forever.
+# checking, the snapshot codec, and the binary trace decoder (decode of
+# adversarial bytes must classify the error or round-trip, never
+# panic). Go allows one -fuzz pattern per invocation, so the targets
+# run back to back. FUZZTIME bounds each run (CI uses 30s); found
+# crashers land in the package's testdata/fuzz and re-run as regular
+# tests forever.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRunContext -fuzztime $(FUZZTIME) ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz FuzzTraceDecode -fuzztime $(FUZZTIME) ./internal/workload
 
 # Benchmark run: BENCH selects the pattern, BENCH_COUNT the repetitions
 # (use BENCH_COUNT=10 with benchstat for before/after comparisons). The

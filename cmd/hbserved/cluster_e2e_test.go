@@ -24,6 +24,7 @@ import (
 	"hbcache/internal/runner"
 	"hbcache/internal/service"
 	"hbcache/internal/sim"
+	"hbcache/internal/workload"
 )
 
 // The cluster e2e tests exercise the real thing: separate hbserved
@@ -603,6 +604,143 @@ func TestClusterE2ECoordinatorCrashRecovery(t *testing.T) {
 	}
 	if !strings.Contains(coord.stderr.String(), "corrupt line(s) quarantined") {
 		t.Errorf("restart did not report the quarantine; stderr: %s", coord.stderr.String())
+	}
+}
+
+// uploadTrace POSTs raw trace bytes to a server, returning the HTTP
+// status and the digest the server assigned.
+func uploadTrace(t *testing.T, base string, data []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/traces", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, view.Digest
+}
+
+// TestClusterE2ETraceSweep is the trace frontend's fabric acceptance
+// test: a recorded workload uploaded once to the coordinator backs a
+// sweep dispatched across two workers, byte-identical to the same sweep
+// on a single-process server, and resubmitting the sweep (plus
+// re-uploading the trace) moves zero new trace bytes anywhere — the
+// duplicate upload dedups to 200 and the workers re-serve the recording
+// from their local stores.
+func TestClusterE2ETraceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; skipped in -short")
+	}
+	bin := binary(t)
+
+	coordAddr := freePort(t)
+	coordURL := "http://" + coordAddr
+	w1 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2",
+		"-store", "remote", "-store-url", coordURL, "-register", coordURL)
+	w2 := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2",
+		"-store", "remote", "-store-url", coordURL, "-register", coordURL)
+	coord := startProc(t, bin,
+		"-addr", coordAddr,
+		"-role", "coordinator",
+		"-workers", w1.base+","+w2.base,
+	)
+	single := startProc(t, bin, "-addr", "127.0.0.1:0", "-j", "2")
+
+	// Record one small workload; explicit windows keep the trace tiny.
+	base := sim.Config{
+		Benchmark:    "pmake",
+		Seed:         5,
+		CPU:          cpu.DefaultConfig(),
+		Memory:       mem.DefaultSRAMSystem(32<<10, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true),
+		PrewarmInsts: 1000,
+		WarmupInsts:  100,
+		MeasureInsts: 5000,
+	}
+	data, err := sim.RecordTrace(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.OpenTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := tr.Digest()
+
+	// One upload per server the client talks to — never per worker.
+	if code, got := uploadTrace(t, coord.base, data); code != http.StatusCreated || got != digest {
+		t.Fatalf("coordinator upload = %d digest %s, want 201 %s", code, got, digest)
+	}
+	if code, _ := uploadTrace(t, single.base, data); code != http.StatusCreated {
+		t.Fatalf("single-server upload = %d, want 201", code)
+	}
+
+	// Six cache sizes over the same recording, referenced by digest only.
+	sizes := []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+	cfgs := make([]sim.Config, len(sizes))
+	for i, size := range sizes {
+		cfg := base
+		cfg.Memory = mem.DefaultSRAMSystem(size, 1, mem.PortConfig{Kind: mem.DuplicatePorts}, true)
+		cfg.Trace = &sim.TraceRef{Digest: digest}
+		cfgs[i] = cfg
+	}
+	clusterRes := awaitSweep(t, coord.base, submitSweep(t, coord.base, cfgs), 2*time.Minute)
+	singleRes := awaitSweep(t, single.base, submitSweep(t, single.base, cfgs), 2*time.Minute)
+	if clusterRes.Failed != 0 || singleRes.Failed != 0 {
+		for _, p := range append(clusterRes.Points, singleRes.Points...) {
+			if p.Error != "" {
+				t.Logf("point error: %s", p.Error)
+			}
+		}
+		t.Fatalf("failures: cluster=%d single=%d, want 0", clusterRes.Failed, singleRes.Failed)
+	}
+	for i := range cfgs {
+		cb, _ := json.Marshal(clusterRes.Points[i].Result)
+		sb, _ := json.Marshal(singleRes.Points[i].Result)
+		if !bytes.Equal(cb, sb) {
+			t.Errorf("point %d differs across paths:\ncluster: %s\nsingle:  %s", i, cb, sb)
+		}
+	}
+
+	// Each worker acquired the recording at most once, however it got it
+	// (fetch from the coordinator or same-host path import).
+	transfers := func() float64 {
+		total := 0.0
+		for _, w := range []*proc{w1, w2} {
+			total += scrapeCounter(t, w.base, "hbserved_trace_fetches_total") +
+				scrapeCounter(t, w.base, "hbserved_trace_uploads_total")
+		}
+		return total
+	}
+	moved := transfers()
+	if moved > 2 {
+		t.Errorf("fleet acquired the trace %v times, want at most once per worker", moved)
+	}
+
+	// Resubmission: the duplicate upload dedups without storing, the
+	// sweep re-serves from the store, and zero new trace bytes move.
+	if code, _ := uploadTrace(t, coord.base, data); code != http.StatusOK {
+		t.Fatalf("duplicate upload = %d, want 200 dedup", code)
+	}
+	if ups := scrapeCounter(t, coord.base, "hbserved_trace_uploads_total"); ups != 1 {
+		t.Errorf("coordinator stored %v uploads, want the original 1", ups)
+	}
+	if dedups := scrapeCounter(t, coord.base, "hbserved_trace_dedup_total"); dedups != 1 {
+		t.Errorf("coordinator deduped %v uploads, want 1", dedups)
+	}
+	rerun := awaitSweep(t, coord.base, submitSweep(t, coord.base, cfgs), time.Minute)
+	if rerun.Failed != 0 {
+		t.Fatalf("rerun failed %d points", rerun.Failed)
+	}
+	if after := transfers(); after != moved {
+		t.Errorf("rerun moved %v extra trace copies, want 0", after-moved)
+	}
+	if served := scrapeCounter(t, coord.base, "hbserved_trace_fetches_served_total"); served > 2 {
+		t.Errorf("coordinator served %v trace fetches, want at most one per worker", served)
 	}
 }
 

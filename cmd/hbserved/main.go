@@ -242,6 +242,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		advertise  = fs.String("advertise", "", "worker: base URL to advertise when registering (default: derived from the bound listen address)")
 		leaseTTL   = fs.Duration("lease-ttl", 15*time.Second, "coordinator: how long a registered worker's lease survives without a heartbeat")
 		minWorkers = fs.Int("min-workers", 1, "coordinator: /readyz answers 503 while live workers sit below this quorum")
+		traceDir   = fs.String("trace-dir", "", "content-addressed store for uploaded workload traces (empty = temp dir, removed on exit)")
+		maxTrace   = fs.Int64("max-trace-bytes", 0, "cap one trace upload's size; larger bodies answer 413 (0 = default 64 MiB)")
 	)
 	var faultRules []fault.Rule
 	fs.Func("fault", "inject a fault, repeatable: site:kind[:delay][:p=F][:skip=N][:limit=N] (e.g. sim.run:hang:limit=1)", func(v string) error {
@@ -434,6 +436,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		BreakerCooldown:  *breakCool,
 		SSEWriteTimeout:  *sseTimeout,
 		Faults:           faults,
+		TraceDir:         *traceDir,
+		MaxTraceBytes:    *maxTrace,
+	}
+	// A worker fills trace-store misses from its coordinator: the
+	// registration target when it has one, else the shared store's host.
+	if !isCoord {
+		switch {
+		case *registerAt != "":
+			svcOpts.TraceFetchURL = *registerAt
+		case *storeURL != "":
+			svcOpts.TraceFetchURL = *storeURL
+		}
 	}
 	if coord != nil {
 		svcOpts.ClusterStatus = func(context.Context) *service.ClusterStatus {

@@ -11,6 +11,7 @@
 //	hbsim -bench gcc -insts 24000000 -sample 24000,1500,500
 //	hbsim -bench gcc -max-cycles 100000 -snapshot ckpt.json
 //	hbsim -resume ckpt.json
+//	hbsim -trace gcc.trace -size 64K -lb      # replay an hbtrace recording
 package main
 
 import (
@@ -50,6 +51,7 @@ func main() {
 		snapAt  = flag.Uint64("snapshot-at", 0, "simulated cycle at which to write the -snapshot checkpoint (0 = only on abort)")
 		resume  = flag.String("resume", "", "resume from this checkpoint; its embedded config replaces the config flags")
 		sample  = flag.String("sample", "", "interval sampling plan \"interval,window,warmup\" in instructions (e.g. 24000,1500,500)")
+		traceIn = flag.String("trace", "", "replay this recorded trace (hbtrace -record) instead of the synthetic workload; -bench/-seed come from the recording")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -116,6 +118,24 @@ func main() {
 			fatal(err)
 		}
 		cfg.Sample = spec
+	}
+	if *traceIn != "" {
+		// The recording carries the workload identity; pin its content
+		// digest now so the run (and any cache key derived from the
+		// config) can never silently replay different bytes.
+		tr, err := workload.OpenTraceFile(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		hdr := tr.Header()
+		cfg.Benchmark, cfg.Seed = hdr.Benchmark, hdr.Seed
+		cfg.Trace = &sim.TraceRef{Path: *traceIn, Digest: tr.Digest()}
+		fmt.Printf("replaying            %s (%s seed %d, %d recorded insts, digest %.12s…)\n",
+			*traceIn, hdr.Benchmark, hdr.Seed, tr.Count(), tr.Digest())
+		if total := cfg.WithDefaults(); tr.Count() < total.PrewarmInsts+total.WarmupInsts+total.MeasureInsts {
+			fmt.Fprintf(os.Stderr, "hbsim: warning: recording holds %d instructions but the run wants %d (prewarm %d + warmup %d + measure %d); the run will starve early — re-record with a larger -insts or shrink the windows\n",
+				tr.Count(), total.PrewarmInsts+total.WarmupInsts+total.MeasureInsts, total.PrewarmInsts, total.WarmupInsts, total.MeasureInsts)
+		}
 	}
 	if *resume != "" {
 		// A checkpoint only resumes onto the exact machine it captured,

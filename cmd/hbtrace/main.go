@@ -9,6 +9,13 @@
 //	hbtrace -bench database -size 8K -skip 5000 -cycles 40
 //	hbtrace -bench tomcatv -summary -cycles 50000
 //	hbtrace -resume ckpt.json -cycles 60
+//
+// With -record it instead captures a workload's instruction stream to a
+// compact binary trace file (hbcache-trace-v1) that hbsim -trace and
+// trace-backed service jobs replay bit-identically:
+//
+//	hbtrace -bench gcc -record gcc.trace
+//	hbtrace -bench vcs -seed 7 -record vcs.trace -insts 2000000
 package main
 
 import (
@@ -34,8 +41,33 @@ func main() {
 		summary = flag.Bool("summary", false, "print only the end-of-trace summary")
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		resume  = flag.String("resume", "", "trace from this checkpoint instead of a cold machine; config flags are ignored")
+		record  = flag.String("record", "", "record the workload to this hbcache-trace-v1 file and exit (no pipeline trace)")
+		insts   = flag.Uint64("insts", 0, "instructions to record with -record (0 = enough for a default-window run)")
 	)
 	flag.Parse()
+
+	if *record != "" {
+		n := *insts
+		if n == 0 {
+			n = sim.DefaultPrewarm + sim.DefaultWarmup + sim.DefaultMeasure + sim.DefaultTraceSlack
+		}
+		data, err := workload.RecordTrace(*bench, *seed, n)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.WriteTraceFile(*record, data); err != nil {
+			fatal(err)
+		}
+		tr, err := workload.OpenTraceFile(*record)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %s seed %d: %d instructions, %d bytes (%.2f B/inst)\n",
+			*bench, *seed, tr.Count(), len(data), float64(len(data))/float64(tr.Count()))
+		fmt.Printf("  file   %s\n", *record)
+		fmt.Printf("  digest %s\n", tr.Digest())
+		return
+	}
 
 	var (
 		core *cpu.CPU

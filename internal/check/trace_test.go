@@ -1,0 +1,63 @@
+package check
+
+import (
+	"testing"
+
+	"hbcache/internal/workload"
+)
+
+// TestTraceConformanceAllWorkloads is the format's differential gate:
+// every synthetic workload in the roster must survive a record→replay
+// round trip instruction-for-instruction.
+func TestTraceConformanceAllWorkloads(t *testing.T) {
+	n := uint64(20_000)
+	if testing.Short() {
+		n = 4_000
+	}
+	reps, err := TraceConformanceAll(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(workload.BenchmarkNames()) {
+		t.Fatalf("got %d reports, want %d", len(reps), len(workload.BenchmarkNames()))
+	}
+	digests := map[string]string{}
+	hashes := map[uint64]string{}
+	for _, rep := range reps {
+		if rep.Count != n || rep.StreamHash == 0 || len(rep.Digest) != 64 {
+			t.Errorf("%s: malformed report %+v", rep.Benchmark, rep)
+		}
+		if prev, dup := digests[rep.Digest]; dup {
+			t.Errorf("%s and %s recorded identical traces", prev, rep.Benchmark)
+		}
+		digests[rep.Digest] = rep.Benchmark
+		if prev, dup := hashes[rep.StreamHash]; dup {
+			t.Errorf("%s and %s share a stream hash", prev, rep.Benchmark)
+		}
+		hashes[rep.StreamHash] = rep.Benchmark
+	}
+}
+
+// TestTraceConformanceHashSensitivity: the agreed hash must actually
+// depend on the stream — two seeds of one workload may not collide.
+func TestTraceConformanceHashSensitivity(t *testing.T) {
+	a, err := TraceConformance("gcc", 1, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TraceConformance("gcc", 2, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StreamHash == b.StreamHash || a.Digest == b.Digest {
+		t.Fatalf("different seeds produced identical witnesses: %+v vs %+v", a, b)
+	}
+}
+
+// TestTraceConformanceUnknownBenchmark: a roster miss is the caller's
+// error, reported before anything records.
+func TestTraceConformanceUnknownBenchmark(t *testing.T) {
+	if _, err := TraceConformance("spice", 1, 100); err == nil {
+		t.Fatal("unknown benchmark conformed")
+	}
+}

@@ -25,7 +25,12 @@ import (
 // v3: prewarm_mode was added and its default (fast-forward) trains the
 // branch predictor during prewarm, shifting IPC slightly; results
 // cached under v2 were produced with the cold-predictor stream prewarm.
-const keyVersion = "hbcache-job-v3"
+// v4: trace-backed workloads (sim.Config.Trace) joined the canonical
+// encoding by content digest only — the location-specific path is
+// dropped, so the same recording cached from any path or worker hits,
+// and two different recordings can never alias however they are
+// addressed on disk.
+const keyVersion = "hbcache-job-v4"
 
 // keyEnvelope is what gets hashed: the version string plus the
 // canonicalized config. sim.Config and everything it embeds are plain
@@ -38,16 +43,27 @@ type keyEnvelope struct {
 
 // Canonical normalizes a config so different spellings of the same
 // simulation share one cache entry: zero instruction windows become the
-// defaults sim.Run would substitute anyway.
+// defaults sim.Run would substitute anyway, and a trace reference is
+// reduced to its content digest — the path only says where the bytes
+// happened to live when the job was submitted.
 func Canonical(cfg sim.Config) sim.Config {
-	return cfg.WithDefaults()
+	cfg = cfg.WithDefaults()
+	if cfg.Trace != nil {
+		cfg.Trace = &sim.TraceRef{Digest: cfg.Trace.Digest}
+	}
+	return cfg
 }
 
 // Key returns the content address of a simulation: the hex SHA-256 of
 // the canonical encoding of its config. Configs that simulate
 // identically map to the same key; any behavior-relevant field change
-// maps to a different one.
+// maps to a different one. A trace-backed config must carry the
+// trace's content digest — keying a path-only ref would let whatever
+// bytes later occupy that path impersonate the cached result.
 func Key(cfg sim.Config) (string, error) {
+	if cfg.Trace != nil && cfg.Trace.Digest == "" {
+		return "", fmt.Errorf("runner: trace ref has no content digest (path %q): resolve it before keying", cfg.Trace.Path)
+	}
 	b, err := json.Marshal(keyEnvelope{Version: keyVersion, Config: Canonical(cfg)})
 	if err != nil {
 		return "", err

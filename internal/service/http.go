@@ -44,6 +44,9 @@ type errorResponse struct {
 //	GET  /v1/sweeps/{id}                          sweep status
 //	GET  /v1/sweeps/{id}/results                  per-point results (partial OK)
 //	GET  /v1/sweeps/{id}/events                   SSE progress stream
+//	POST /v1/traces          <raw trace bytes>    upload a recorded workload
+//	GET  /v1/traces                               list stored traces
+//	GET  /v1/traces/{digest}                      download a stored trace
 //	GET  /healthz                                 liveness (200 while the process serves)
 //	GET  /readyz                                  readiness (503 while draining/broken/workerless)
 //	GET  /metrics                                 Prometheus text format
@@ -63,6 +66,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("POST /v1/traces", s.handleUploadTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	mux.HandleFunc("GET /v1/traces/{digest}", s.handleGetTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -103,6 +109,8 @@ func (s *Service) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
 	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }

@@ -56,6 +56,13 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("hbserved_store_rejects_total", "Result-store uploads rejected for failing verification.", float64(st.Rejects))
 	}
 
+	ts := s.TraceStats()
+	p.Gauge("hbserved_traces_stored", "Recorded workload traces in the content-addressed store.", float64(ts.Stored))
+	p.Counter("hbserved_trace_uploads_total", "Trace uploads that stored a new digest.", float64(ts.Uploads))
+	p.Counter("hbserved_trace_dedup_total", "Trace uploads answered by an already-stored digest.", float64(ts.Dedups))
+	p.Counter("hbserved_trace_fetches_served_total", "Stored traces served to downloaders (cluster workers).", float64(ts.Served))
+	p.Counter("hbserved_trace_fetches_total", "Traces this node pulled from its upstream fetch URL.", float64(ts.Fetched))
+
 	if s.opts.ClusterStatus != nil {
 		// The hook answers from local membership state — /metrics never
 		// touches the network.

@@ -94,6 +94,17 @@ type Options struct {
 	// can observe the sweep. The coordinator's write-ahead journal hooks
 	// in here; restored sweeps (RestoreSweep) do not re-fire it.
 	OnSweepAdmitted func(id string, cfgs []sim.Config)
+	// TraceDir roots the content-addressed trace store behind
+	// POST /v1/traces — one <digest>.trace file per stored recording.
+	// Empty auto-creates a temp directory, removed on Shutdown.
+	TraceDir string
+	// MaxTraceBytes caps one trace upload's (or upstream fetch's) size;
+	// a larger body answers 413. Zero selects DefaultMaxTraceBytes.
+	MaxTraceBytes int64
+	// TraceFetchURL, when set, is the base URL (a coordinator's) whose
+	// GET /v1/traces/{digest} fills local store misses at submit time —
+	// how cluster workers pull a coordinator-held trace exactly once.
+	TraceFetchURL string
 }
 
 func (o Options) withDefaults(r *runner.Runner) Options {
@@ -123,6 +134,9 @@ func (o Options) withDefaults(r *runner.Runner) Options {
 	}
 	if o.SSEWriteTimeout <= 0 {
 		o.SSEWriteTimeout = 30 * time.Second
+	}
+	if o.MaxTraceBytes <= 0 {
+		o.MaxTraceBytes = DefaultMaxTraceBytes
 	}
 	return o
 }
@@ -302,6 +316,9 @@ type Service struct {
 	// storeSrv serves the runner's result store over HTTP when the
 	// runner has one — the shared-store side of the cluster fabric.
 	storeSrv *runner.StoreServer
+	// traces is the content-addressed store behind POST /v1/traces and
+	// submit-time trace resolution.
+	traces *traceStore
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -359,6 +376,7 @@ func New(r *runner.Runner, opts Options) *Service {
 		sweeps:  map[string]*sweep{},
 		queue:   make(chan *job, opts.QueueSize),
 		latency: stats.NewLatencyHistogram(),
+		traces:  newTraceStore(opts.TraceDir),
 	}
 	if st := r.Store(); st != nil {
 		s.storeSrv = runner.NewStoreServer(st)
@@ -427,6 +445,12 @@ func (s *Service) validate(cfg sim.Config) error {
 // ErrDraining.
 func (s *Service) Submit(cfg sim.Config) (JobView, bool, error) {
 	cfg = cfg.WithDefaults()
+	// Resolve before validating or keying: Validate opens the trace file
+	// and Key requires the content digest, so the ref must point at this
+	// node's store first.
+	if err := s.resolveTrace(&cfg); err != nil {
+		return JobView{}, false, err
+	}
 	if err := s.validate(cfg); err != nil {
 		return JobView{}, false, err
 	}
@@ -576,6 +600,9 @@ func (s *Service) submitSweep(id string, cfgs []sim.Config) (SweepView, error) {
 	keys := make([]string, len(cfgs))
 	for i := range cfgs {
 		cfgs[i] = cfgs[i].WithDefaults()
+		if err := s.resolveTrace(&cfgs[i]); err != nil {
+			return SweepView{}, fmt.Errorf("config %d: %w", i, err)
+		}
 		if err := s.validate(cfgs[i]); err != nil {
 			return SweepView{}, fmt.Errorf("config %d: %w", i, err)
 		}
@@ -1054,6 +1081,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		s.unsub()
 		s.cancel()
+		s.traces.cleanup()
 		close(s.closed)
 	})
 	return err

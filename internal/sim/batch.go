@@ -45,22 +45,25 @@ const ringInit = 1 << 14
 const warmChunk = 4096
 
 // streamKey groups lanes that can share one generated stream: the
-// stream itself depends on (benchmark, seed) and the phase offsets
-// along it on the instruction windows and prewarm mode.
+// stream itself depends on (benchmark, seed) — or, for trace-backed
+// configs, on the trace's content digest — and the phase offsets along
+// it on the instruction windows and prewarm mode.
 type streamKey struct {
 	benchmark string
 	seed      uint64
+	trace     string
 	prewarm   uint64
 	warmup    uint64
 	measure   uint64
 	mode      PrewarmMode
 }
 
-// bstream is one shared instruction stream: a master generator and a
+// bstream is one shared instruction stream: a master source and a
 // ring of its records, read by each lane through its own cursor.
 // Records below every live cursor are discarded at fill time.
 type bstream struct {
-	gen   *workload.Generator
+	gen   workload.Source
+	limit uint64 // absolute stream position where the source ends
 	lanes []*lane
 
 	buf  []isa.Inst
@@ -120,11 +123,15 @@ type laneReader struct {
 	pos uint64
 }
 
-// Next implements isa.Reader. The stream is unbounded, so ok is
-// always true; reads past the generated frontier trigger a chunked
-// refill.
+// Next implements isa.Reader. A synthetic stream is unbounded, so ok
+// is always true; a trace-backed stream ends at its recorded limit,
+// matching the single-run TraceReader exactly. Reads past the
+// generated frontier trigger a chunked refill.
 func (r *laneReader) Next() (isa.Inst, bool) {
 	st := r.st
+	if r.pos >= st.limit {
+		return isa.Inst{}, false
+	}
 	if r.pos >= st.next {
 		st.fill(r.pos + runChunk)
 	}
@@ -238,15 +245,23 @@ func NewBatch(ctx context.Context, cfgs []Config, opts RunOpts) (*Batch, error) 
 			ln.fail(fmt.Errorf("%w: sampled configs run per-lane; use RunContext (the runner routes them automatically)", ErrInvalidConfig))
 			continue
 		}
-		key := streamKey{rcfg.Benchmark, rcfg.Seed, rcfg.PrewarmInsts, rcfg.WarmupInsts, rcfg.MeasureInsts, rcfg.PrewarmMode}
+		var traceKey string
+		if rcfg.Trace != nil {
+			// Digest is the content address; a path-only ref falls back
+			// to the path so unresolved lanes still group consistently.
+			if traceKey = rcfg.Trace.Digest; traceKey == "" {
+				traceKey = "path:" + rcfg.Trace.Path
+			}
+		}
+		key := streamKey{rcfg.Benchmark, rcfg.Seed, traceKey, rcfg.PrewarmInsts, rcfg.WarmupInsts, rcfg.MeasureInsts, rcfg.PrewarmMode}
 		st, ok := byKey[key]
 		if !ok {
-			gen, err := workload.New(rcfg.Benchmark, rcfg.Seed)
+			gen, err := rcfg.newSource()
 			if err != nil {
-				ln.fail(fmt.Errorf("%w: %v", ErrInvalidConfig, err))
+				ln.fail(err)
 				continue
 			}
-			st = &bstream{gen: gen, buf: make([]isa.Inst, ringInit), mask: ringInit - 1}
+			st = &bstream{gen: gen, limit: sourceLimit(gen), buf: make([]isa.Inst, ringInit), mask: ringInit - 1}
 			byKey[key] = st
 			b.streams = append(b.streams, st)
 		}

@@ -85,6 +85,13 @@ type Config struct {
 	// default) keeps the canonical encoding — and therefore the
 	// runner's cache keys — unchanged.
 	Sample *SampleSpec `json:"sample,omitempty"`
+
+	// Trace, when set, replays a recorded instruction trace instead of
+	// synthesizing the benchmark: Benchmark and Seed become labels (the
+	// trace carries its own provenance) and the stream, regions, and
+	// prewarm content all come from the recording. nil (the default)
+	// keeps the canonical encoding unchanged. See TraceRef.
+	Trace *TraceRef `json:"trace,omitempty"`
 }
 
 // PrewarmMode selects how the PrewarmInsts window is fast-forwarded
@@ -190,9 +197,9 @@ func (c Config) WithDefaults() Config {
 // with Run instead of failing deep inside the simulator after the
 // multi-hundred-thousand-instruction prewarm.
 func (c Config) Validate() error {
-	gen, err := workload.New(c.Benchmark, c.Seed)
+	gen, err := c.newSource()
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		return err
 	}
 	if c.PrewarmInsts == 0 || c.WarmupInsts == 0 || c.MeasureInsts == 0 {
 		return fmt.Errorf("%w: instruction windows must be positive, got prewarm=%d warmup=%d measure=%d (zero means \"use default\" only via WithDefaults)",
@@ -298,7 +305,7 @@ type machine struct {
 	opts RunOpts
 	ctx  context.Context // caller context, for abort classification
 
-	gen    *workload.Generator
+	gen    workload.Source
 	sys    *mem.System
 	core   *cpu.CPU
 	stream *check.Stream
@@ -322,9 +329,9 @@ type machine struct {
 // newMachine builds the simulation for a resolved config. Constructor
 // failures wrap ErrInvalidConfig.
 func newMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool) (*machine, error) {
-	gen, err := workload.New(cfg.Benchmark, cfg.Seed)
+	gen, err := cfg.newSource()
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		return nil, err
 	}
 	sys, err := mem.NewSystem(cfg.Memory)
 	if err != nil {
@@ -337,12 +344,12 @@ func newMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool
 	return assembleMachine(ctx, cfg, opts, stop, gen, sys, core), nil
 }
 
-// assembleMachine wires an already-constructed generator, hierarchy,
-// and core into a machine with the configured checkers installed. The
-// batch kernel uses it directly: its lanes read a shared stream ring
-// instead of owning the generator, so construction and assembly are
-// separate steps.
-func assembleMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool, gen *workload.Generator, sys *mem.System, core *cpu.CPU) *machine {
+// assembleMachine wires an already-constructed stream source,
+// hierarchy, and core into a machine with the configured checkers
+// installed. The batch kernel uses it directly: its lanes read a shared
+// stream ring instead of owning the source, so construction and
+// assembly are separate steps.
+func assembleMachine(ctx context.Context, cfg Config, opts RunOpts, stop *atomic.Bool, gen workload.Source, sys *mem.System, core *cpu.CPU) *machine {
 	m := &machine{cfg: cfg, opts: opts, ctx: ctx, gen: gen, sys: sys, core: core, stop: stop, effMax: opts.MaxCycles}
 	var checkers []cpu.Checker
 	if opts.Hash {

@@ -87,11 +87,11 @@ func ReadSnapshot(path string, faults *fault.Registry) (*MachineState, error) {
 // parts. This is the standalone form used by hbtrace to step a
 // checkpoint cycle-by-cycle; RunContext resumes through the machine
 // instead. The returned core has no budget or checker installed.
-func (st *MachineState) Restore() (*cpu.CPU, *mem.System, *workload.Generator, error) {
+func (st *MachineState) Restore() (*cpu.CPU, *mem.System, workload.Source, error) {
 	cfg := st.Config.WithDefaults()
-	gen, err := workload.New(cfg.Benchmark, cfg.Seed)
+	gen, err := cfg.newSource()
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		return nil, nil, nil, err
 	}
 	sys, err := mem.NewSystem(cfg.Memory)
 	if err != nil {

@@ -543,12 +543,14 @@ func pct(a, b uint64) float64 {
 func (g *Generator) Model() *Model { return g.model }
 
 // RegionInfo describes one laid-out region of the generator's address
-// space, for reporting and miss attribution.
+// space, for reporting and miss attribution. The JSON tags are part of
+// the trace-file header format: recorded traces carry regions so replay
+// sweeps the same address space.
 type RegionInfo struct {
-	Name   string
-	Base   uint64
-	Bytes  uint64
-	Kernel bool
+	Name   string `json:"name"`
+	Base   uint64 `json:"base"`
+	Bytes  uint64 `json:"bytes"`
+	Kernel bool   `json:"kernel,omitempty"`
 }
 
 // Regions returns the laid-out address ranges of every region.

@@ -39,6 +39,12 @@ type GeneratorState struct {
 	Kernel         uint64 `json:"kernel"`
 	FPOps          uint64 `json:"fpops"`
 	Mispredictable uint64 `json:"mispredictable"`
+
+	// TraceDigest is set only when the state was exported from a
+	// TraceReader: it pins which trace N indexes, so a resume can
+	// reject a cursor from a different recording. Generator states
+	// leave it empty.
+	TraceDigest string `json:"trace_digest,omitempty"`
 }
 
 // ExportState captures the generator's mutable state.
